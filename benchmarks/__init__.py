@@ -1,0 +1,1 @@
+"""Benchmark harness reproducing every figure of the paper's evaluation."""

@@ -1,0 +1,28 @@
+"""Ablation — Modified Class-C versus Queue-based Class-A (Sec. VI / VII-C).
+
+The paper reports that Queue-based Class-A performs on par with Modified
+Class-C while saving some (under 20 %) energy.
+"""
+
+from benchmarks.conftest import ABLATION_SCALE
+from repro.experiments.figures import ablation_device_class
+from repro.experiments.reporting import format_metric_comparison
+
+
+def test_bench_ablation_queue_class_a(benchmark):
+    results = benchmark.pedantic(
+        ablation_device_class, kwargs={"scale": ABLATION_SCALE}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_metric_comparison(
+            "Ablation — device classes (ROBC scheme)",
+            results,
+            ("mean_delay_s", "throughput_messages", "mean_energy_joules"),
+        )
+    )
+    modified_c = results["modified-class-c"]
+    queue_a = results["queue-based-class-a"]
+    # Energy must not increase, throughput must stay in the same ballpark.
+    assert queue_a.mean_energy_joules <= modified_c.mean_energy_joules * 1.01
+    assert queue_a.throughput_messages >= 0.7 * modified_c.throughput_messages

@@ -1,0 +1,26 @@
+"""Fig. 7 — properties of the (synthetic) London bus network.
+
+Regenerates the two panels of Fig. 7: the number of active buses over 24 hours
+(diurnal profile) and the distribution of bus active durations.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SWEEP_SCALE
+from repro.experiments.figures import figure07_bus_network
+from repro.experiments.reporting import format_bus_network
+
+
+def test_bench_fig07_bus_network(benchmark):
+    properties = benchmark.pedantic(
+        figure07_bus_network, args=(SWEEP_SCALE,), rounds=1, iterations=1
+    )
+    print()
+    print(format_bus_network("Fig. 7 — synthetic London bus network", properties))
+
+    # Qualitative acceptance: a diurnal profile (daytime plateau above the
+    # night trough) and a broad distribution of active durations.
+    assert properties.peak_active_buses > 0
+    assert properties.peak_active_buses >= properties.night_active_buses
+    durations = np.asarray(properties.active_durations_s)
+    assert durations.max() > 2.0 * durations.min()

@@ -1,0 +1,18 @@
+"""Fig. 10 — throughput over the day, urban (500 m device-to-device range)."""
+
+from benchmarks.conftest import TIMESERIES_SCALE
+from repro.experiments.figures import figure10_urban_timeseries
+from repro.experiments.reporting import format_timeseries
+
+
+def test_bench_fig10_urban_timeseries(benchmark):
+    series = benchmark.pedantic(
+        figure10_urban_timeseries, args=(TIMESERIES_SCALE,), rounds=1, iterations=1
+    )
+    print()
+    print(format_timeseries("Fig. 10 — messages delivered per 10-minute bin", series))
+
+    assert series.environment == "urban"
+    assert set(series.series_by_scheme) == set(TIMESERIES_SCALE.schemes)
+    for scheme in TIMESERIES_SCALE.schemes:
+        assert series.total(scheme) > 0

@@ -1,0 +1,19 @@
+"""Fig. 11 — throughput over the day, rural (1000 m device-to-device range)."""
+
+from benchmarks.conftest import TIMESERIES_SCALE
+from repro.experiments.figures import figure11_rural_timeseries
+from repro.experiments.reporting import format_timeseries
+
+
+def test_bench_fig11_rural_timeseries(benchmark):
+    series = benchmark.pedantic(
+        figure11_rural_timeseries, args=(TIMESERIES_SCALE,), rounds=1, iterations=1
+    )
+    print()
+    print(format_timeseries("Fig. 11 — messages delivered per 10-minute bin", series))
+
+    assert series.environment == "rural"
+    for scheme in TIMESERIES_SCALE.schemes:
+        assert series.total(scheme) > 0
+    # Paper: in the rural setting ROBC matches or beats plain LoRaWAN overall.
+    assert series.total("robc") >= 0.8 * series.total("no-routing")

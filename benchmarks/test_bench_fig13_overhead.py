@@ -1,0 +1,30 @@
+"""Fig. 13 — average number of messages sent per node (energy-overhead proxy)."""
+
+from benchmarks.conftest import SWEEP_SCALE
+from repro.experiments.figures import figure13_overhead
+from repro.experiments.reporting import format_figure_rows
+
+
+def test_bench_fig13_overhead(benchmark, density_sweep):
+    rows = benchmark.pedantic(
+        figure13_overhead, args=(density_sweep,), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure_rows("Fig. 13 — messages sent per node", rows, unit="frames"))
+
+    # Paper: the forwarding schemes send more frames than plain LoRaWAN
+    # (1.6x-2.2x in the paper's setting); at minimum they must not send fewer.
+    for environment in ("urban", "rural"):
+        for count in SWEEP_SCALE.gateway_counts:
+            baseline = next(
+                row.value for row in rows
+                if row.scheme == "no-routing" and row.environment == environment
+                and row.num_gateways == count
+            )
+            for scheme in ("rca-etx", "robc"):
+                value = next(
+                    row.value for row in rows
+                    if row.scheme == scheme and row.environment == environment
+                    and row.num_gateways == count
+                )
+                assert value >= 0.95 * baseline

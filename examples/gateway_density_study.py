@@ -1,0 +1,45 @@
+"""Study how gateway density affects each forwarding scheme (mini Fig. 8/9).
+
+Sweeps the number of gateways for a fixed bus network and prints delay and
+throughput per scheme, i.e. a reduced version of the paper's Figs. 8 and 9.
+
+Usage::
+
+    python examples/gateway_density_study.py
+"""
+
+from repro.experiments import ScenarioConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.sweeps import run_gateway_sweep
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        name="gateway-density-study",
+        seed=17,
+        duration_s=2 * 3600.0,
+        area_km2=48.0,
+        num_routes=10,
+        trips_per_route=4,
+        device_range_m=1000.0,
+    )
+    sweep = run_gateway_sweep(
+        base,
+        gateway_counts=(3, 5, 8),
+        schemes=("no-routing", "rca-etx", "robc"),
+        device_ranges_m=(1000.0,),
+    )
+
+    rows = []
+    for count in sweep.gateway_counts():
+        for scheme in sweep.schemes():
+            run = sweep.get(scheme, count, 1000.0)
+            rows.append(
+                (count, scheme, f"{run.mean_delay_s:.1f}", run.throughput_messages,
+                 f"{run.delivery_ratio:.2%}")
+            )
+    print(format_table(("gateways", "scheme", "mean delay [s]", "delivered", "ratio"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Compare NoRouting, RCA-ETX and ROBC on the same bus-network scenario.
+
+This is a miniature version of the paper's evaluation: the same synthetic
+London-like bus network is simulated once per forwarding scheme and the
+delay / throughput / hop-count / overhead metrics are printed side by side
+(the quantities plotted in Figs. 8, 9, 12 and 13).
+
+Usage::
+
+    python examples/scheme_comparison.py
+"""
+
+from repro.analysis.stats import improvement_percent, reduction_percent
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        name="scheme-comparison",
+        seed=11,
+        duration_s=3 * 3600.0,
+        area_km2=60.0,
+        num_gateways=5,
+        num_routes=10,
+        trips_per_route=6,
+        device_range_m=1000.0,
+    )
+
+    runs = {
+        scheme: run_scenario(base.with_scheme(scheme))
+        for scheme in ("no-routing", "rca-etx", "robc")
+    }
+
+    rows = []
+    for scheme, metrics in runs.items():
+        rows.append(
+            (
+                scheme,
+                f"{metrics.mean_delay_s:.1f}",
+                metrics.throughput_messages,
+                f"{metrics.delivery_ratio:.2%}",
+                f"{metrics.mean_hop_count:.2f}",
+                f"{metrics.mean_messages_sent_per_node:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ("scheme", "mean delay [s]", "delivered", "ratio", "hops", "frames/node"),
+            rows,
+        )
+    )
+
+    baseline = runs["no-routing"]
+    robc = runs["robc"]
+    if baseline.throughput_messages:
+        gain = improvement_percent(baseline.throughput_messages, robc.throughput_messages)
+        print(f"\nROBC throughput change vs plain LoRaWAN: {gain:+.1f}%")
+    if baseline.mean_delay_s and robc.mean_delay_s:
+        delta = reduction_percent(baseline.mean_delay_s, robc.mean_delay_s)
+        print(f"ROBC delay reduction vs plain LoRaWAN:   {delta:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

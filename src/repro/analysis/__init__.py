@@ -1,0 +1,21 @@
+"""Evaluation metrics and statistics.
+
+The metric definitions follow Sec. VII-B: end-to-end delay
+``δt(x) = t_g(x) − t_d(x)``, throughput as messages received at the server in
+a period, hop counts per delivered message (Fig. 12) and the number of
+messages sent per node as the energy-overhead proxy (Fig. 13).
+"""
+
+from repro.analysis.metrics import RunMetrics, compute_run_metrics
+from repro.analysis.stats import confidence_interval_95, mean_and_std, relative_change
+from repro.analysis.timeseries import bin_events, cumulative_counts
+
+__all__ = [
+    "RunMetrics",
+    "compute_run_metrics",
+    "confidence_interval_95",
+    "mean_and_std",
+    "relative_change",
+    "bin_events",
+    "cumulative_counts",
+]

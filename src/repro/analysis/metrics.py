@@ -1,0 +1,113 @@
+"""Run-level metric extraction (the quantities plotted in Figs. 8–13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import confidence_interval_95
+from repro.analysis.timeseries import bin_events
+from repro.mac.device import EndDevice
+from repro.mac.network_server import NetworkServer
+
+
+@dataclass
+class RunMetrics:
+    """Everything the figures need from one simulation run."""
+
+    scheme: str
+    num_gateways: int
+    device_range_m: float
+    duration_s: float
+    messages_generated: int
+    messages_delivered: int
+    delays_s: List[float] = field(default_factory=list)
+    hop_counts: List[int] = field(default_factory=list)
+    delivery_times_s: List[float] = field(default_factory=list)
+    transmissions_per_device: Dict[str, int] = field(default_factory=dict)
+    energy_joules_per_device: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Scalar summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of generated messages that reached the server."""
+        if self.messages_generated == 0:
+            return 0.0
+        return self.messages_delivered / self.messages_generated
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Average end-to-end delay (Fig. 8), NaN when nothing was delivered."""
+        if not self.delays_s:
+            return float("nan")
+        return float(np.mean(self.delays_s))
+
+    @property
+    def delay_ci95_s(self) -> Tuple[float, float]:
+        """Mean delay and its 95 % confidence half-width (the error bars of Fig. 8)."""
+        return confidence_interval_95(self.delays_s)
+
+    @property
+    def throughput_messages(self) -> int:
+        """Total messages received at the server over the run (Fig. 9)."""
+        return self.messages_delivered
+
+    @property
+    def mean_hop_count(self) -> float:
+        """Average delivery hop count (Fig. 12), NaN when nothing was delivered."""
+        if not self.hop_counts:
+            return float("nan")
+        return float(np.mean(self.hop_counts))
+
+    @property
+    def mean_messages_sent_per_node(self) -> float:
+        """Average number of frames transmitted per device (Fig. 13)."""
+        if not self.transmissions_per_device:
+            return 0.0
+        return float(np.mean(list(self.transmissions_per_device.values())))
+
+    @property
+    def mean_energy_joules(self) -> float:
+        """Average per-device energy (Queue-based Class-A ablation)."""
+        if not self.energy_joules_per_device:
+            return 0.0
+        return float(np.mean(list(self.energy_joules_per_device.values())))
+
+    def throughput_timeseries(
+        self, bin_width_s: float = 600.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Messages delivered per ``bin_width_s`` window over the run (Figs. 10–11)."""
+        return bin_events(self.delivery_times_s, bin_width_s, self.duration_s)
+
+
+def compute_run_metrics(
+    scheme: str,
+    num_gateways: int,
+    device_range_m: float,
+    duration_s: float,
+    devices: Sequence[EndDevice],
+    server: NetworkServer,
+) -> RunMetrics:
+    """Assemble :class:`RunMetrics` from the simulation's devices and server."""
+    deliveries = server.deliveries
+    return RunMetrics(
+        scheme=scheme,
+        num_gateways=num_gateways,
+        device_range_m=device_range_m,
+        duration_s=duration_s,
+        messages_generated=sum(d.stats.messages_generated for d in devices),
+        messages_delivered=server.delivered_count,
+        delays_s=[record.end_to_end_delay for record in deliveries],
+        hop_counts=[record.delivery_hop_count for record in deliveries],
+        delivery_times_s=[record.delivered_at for record in deliveries],
+        transmissions_per_device={
+            d.device_id: d.stats.total_transmissions for d in devices
+        },
+        energy_joules_per_device={
+            d.device_id: d.energy.energy_joules() for d in devices
+        },
+    )

@@ -1,0 +1,49 @@
+"""Small statistical helpers used by the reporting layer."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def mean_and_std(samples: Sequence[float]) -> Tuple[float, float]:
+    """Mean and population standard deviation; ``(nan, nan)`` for empty input."""
+    if not samples:
+        return float("nan"), float("nan")
+    arr = np.asarray(samples, dtype=float)
+    return float(arr.mean()), float(arr.std(ddof=0))
+
+
+def confidence_interval_95(samples: Sequence[float]) -> Tuple[float, float]:
+    """Mean and 95 % normal-approximation half-width (the error bars of Fig. 8)."""
+    if not samples:
+        return float("nan"), float("nan")
+    arr = np.asarray(samples, dtype=float)
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return mean, 0.0
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return mean, 1.96 * sem
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """Relative change of ``value`` versus ``baseline`` (positive = larger than baseline).
+
+    Used to express results the way the paper does ("reduces delays by up to
+    25 %", "53 % throughput improvement").
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero for a relative change")
+    return (value - baseline) / abs(baseline)
+
+
+def improvement_percent(baseline: float, value: float) -> float:
+    """Percentage improvement (increase) of ``value`` over ``baseline``."""
+    return 100.0 * relative_change(baseline, value)
+
+
+def reduction_percent(baseline: float, value: float) -> float:
+    """Percentage reduction of ``value`` below ``baseline`` (positive = smaller)."""
+    return -100.0 * relative_change(baseline, value)

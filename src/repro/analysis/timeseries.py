@@ -1,0 +1,58 @@
+"""Time-series binning used by the Fig. 10/11 throughput-over-time plots."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def bin_events(
+    event_times: Sequence[float],
+    bin_width_s: float,
+    horizon_s: float,
+    weights: Sequence[float] = (),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Count (or sum ``weights`` of) events in consecutive bins.
+
+    Returns ``(bin_start_times, counts)``; events at or beyond ``horizon_s``
+    are dropped, matching "messages received every 10 minutes over 24 hours".
+    """
+    if bin_width_s <= 0 or horizon_s <= 0:
+        raise ValueError("bin width and horizon must be positive")
+    if weights and len(weights) != len(event_times):
+        raise ValueError("weights must match event_times in length")
+    n_bins = int(math.ceil(horizon_s / bin_width_s))
+    starts = np.arange(n_bins, dtype=float) * bin_width_s
+    counts = np.zeros(n_bins, dtype=float)
+    for index, time in enumerate(event_times):
+        if time < 0:
+            raise ValueError(f"event times must be non-negative, got {time}")
+        if time >= horizon_s:
+            continue
+        weight = weights[index] if weights else 1.0
+        counts[min(int(time // bin_width_s), n_bins - 1)] += weight
+    return starts, counts
+
+
+def cumulative_counts(
+    event_times: Sequence[float], horizon_s: float, resolution_s: float = 600.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative number of events up to each sample time on a fixed grid."""
+    starts, counts = bin_events(event_times, resolution_s, horizon_s)
+    return starts, np.cumsum(counts)
+
+
+def moving_average(values: Sequence[float], window: int) -> List[float]:
+    """Simple trailing moving average (used to smooth noisy time series for reports)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    smoothed: List[float] = []
+    buffer: List[float] = []
+    for value in values:
+        buffer.append(float(value))
+        if len(buffer) > window:
+            buffer.pop(0)
+        smoothed.append(sum(buffer) / len(buffer))
+    return smoothed

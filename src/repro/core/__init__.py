@@ -1,0 +1,45 @@
+"""The paper's primary contribution: RCA-ETX and ROBC.
+
+* :mod:`repro.core.ewma` — the exponentially weighted moving average of
+  Eq. (4).
+* :mod:`repro.core.pst` — Packet Service Time and Real-time PST (Eqs. 2–3),
+  maintained per device from its own transmission history.
+* :mod:`repro.core.rca_etx` — the RCA-ETX metric (node-to-sink and
+  node-to-node, Eqs. 5–6) and the greedy handover rule of Eq. (1).
+* :mod:`repro.core.rgq` — Real-time Gateway Quality ϕ with stability bounds.
+* :mod:`repro.core.robc` — ROBC weights and partial-handover amounts
+  (Eq. 10) plus the Queue-based Class-A receive-window rule (Eq. 11).
+* :mod:`repro.core.etx` / :mod:`repro.core.ca_etx` — the classic ETX and
+  Contact-Aware ETX baselines RCA-ETX is built from.
+"""
+
+from repro.core.ca_etx import CAETXEstimator
+from repro.core.ewma import ExponentialMovingAverage
+from repro.core.etx import ETXEstimator
+from repro.core.pst import RealTimePacketServiceTime, SinkContactTracker
+from repro.core.rca_etx import (
+    RCAETXState,
+    link_rca_etx,
+    should_forward_greedy,
+)
+from repro.core.rgq import RealTimeGatewayQuality
+from repro.core.robc import (
+    queue_based_class_a_window_fraction,
+    robc_transfer_amount,
+    robc_weight,
+)
+
+__all__ = [
+    "CAETXEstimator",
+    "ExponentialMovingAverage",
+    "ETXEstimator",
+    "RealTimePacketServiceTime",
+    "SinkContactTracker",
+    "RCAETXState",
+    "link_rca_etx",
+    "should_forward_greedy",
+    "RealTimeGatewayQuality",
+    "queue_based_class_a_window_fraction",
+    "robc_transfer_amount",
+    "robc_weight",
+]

@@ -1,0 +1,67 @@
+"""Classic ETX (De Couto et al.), the metric RCA-ETX generalises.
+
+ETX estimates the expected number of transmissions needed to get a packet
+across a link as ``1 / (d_f · d_r)`` where ``d_f``/``d_r`` are the forward and
+reverse delivery ratios measured from probe packets.  It assumes a *static*
+link probed frequently — exactly the assumptions that break in MLoRa-SS —
+but it is the natural baseline for unit-level comparisons and is reused by the
+CA-ETX baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class DeliveryRatioEstimator:
+    """Sliding-window delivery-ratio estimator over the last ``window`` probes."""
+
+    def __init__(self, window: int = 16) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+
+    def record(self, delivered: bool) -> None:
+        """Record the outcome of one probe/data transmission."""
+        self._outcomes.append(bool(delivered))
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of recent probes delivered (0 when no history)."""
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    @property
+    def sample_count(self) -> int:
+        """Number of probes currently inside the window."""
+        return len(self._outcomes)
+
+
+class ETXEstimator:
+    """Bidirectional ETX estimate from forward and reverse delivery ratios."""
+
+    def __init__(self, window: int = 16, max_etx: float = 1000.0) -> None:
+        if max_etx <= 1:
+            raise ValueError("max_etx must exceed 1")
+        self.forward = DeliveryRatioEstimator(window)
+        self.reverse = DeliveryRatioEstimator(window)
+        self.max_etx = max_etx
+
+    def record_forward(self, delivered: bool) -> None:
+        """Record a forward-direction probe outcome."""
+        self.forward.record(delivered)
+
+    def record_reverse(self, delivered: bool) -> None:
+        """Record a reverse-direction probe outcome."""
+        self.reverse.record(delivered)
+
+    @property
+    def value(self) -> float:
+        """Current ETX ``1 / (d_f · d_r)``, capped at ``max_etx``."""
+        product = self.forward.ratio * self.reverse.ratio
+        if product <= 0:
+            return self.max_etx
+        return min(1.0 / product, self.max_etx)

@@ -1,0 +1,117 @@
+"""RCA-ETX: the node-to-node link metric and the greedy handover rule.
+
+* Eq. (5): the RSSI→capacity mapping (implemented in
+  :class:`repro.phy.link.LinkCapacityModel`).
+* Eq. (6): ``RCA-ETX_{x,y}(t) = packet_bits / c_{x,y}(t)`` — the time to push
+  one packet over the overheard device-to-device link.
+* Eq. (1): device ``x`` hands its queue to ``y`` when its own route to the
+  sinks is more expensive than going through ``y``:
+  ``RCA-ETX_{x,S} > RCA-ETX_{y,S} + RCA-ETX_{x,y}``.
+
+The node-to-sink term ``RCA-ETX_{x,S}`` is maintained by
+:class:`repro.core.pst.RealTimePacketServiceTime`; this module combines the
+pieces into the per-device state object the MAC layer carries around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.pst import DEFAULT_MAX_SERVICE_TIME_S, RealTimePacketServiceTime
+from repro.phy.link import LinkCapacityModel
+
+
+def link_rca_etx(
+    rssi_dbm: float,
+    capacity_model: LinkCapacityModel,
+    packet_bits: float = 8.0 * 51.0,
+    max_value: float = DEFAULT_MAX_SERVICE_TIME_S,
+) -> float:
+    """RCA-ETX of a device-to-device link from the RSSI of an overheard frame.
+
+    Implements Eq. (6) on top of the Eq. (5) capacity mapping: the expected
+    time to transfer one packet over the link, capped at ``max_value`` when
+    the link has zero capacity.
+    """
+    if packet_bits <= 0:
+        raise ValueError(f"packet_bits must be positive, got {packet_bits}")
+    capacity = capacity_model.capacity_bps(rssi_dbm)
+    if capacity <= 0:
+        return max_value
+    return min(packet_bits / capacity, max_value)
+
+
+def should_forward_greedy(
+    own_sink_metric: float,
+    neighbour_sink_metric: float,
+    link_metric: float,
+) -> bool:
+    """The handover rule of Eq. (1).
+
+    Device ``x`` forwards to ``y`` only when doing so strictly lowers the
+    expected delivery cost: ``RCA-ETX_{x,S} > RCA-ETX_{y,S} + RCA-ETX_{x,y}``.
+    """
+    for name, value in (
+        ("own_sink_metric", own_sink_metric),
+        ("neighbour_sink_metric", neighbour_sink_metric),
+        ("link_metric", link_metric),
+    ):
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+    return own_sink_metric > neighbour_sink_metric + link_metric
+
+
+@dataclass
+class RCAETXState:
+    """Per-device RCA-ETX state: the smoothed node-to-sink metric plus helpers.
+
+    This is the object a device embeds; the MAC calls
+    :meth:`observe_transmission_slot` at every uplink opportunity and
+    :meth:`sink_metric` whenever it needs the advertised value.
+    """
+
+    alpha: float = 0.5
+    packet_bits: float = 8.0 * 51.0
+    max_service_time_s: float = DEFAULT_MAX_SERVICE_TIME_S
+    estimator: RealTimePacketServiceTime = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.estimator = RealTimePacketServiceTime(
+            alpha=self.alpha,
+            packet_bits=self.packet_bits,
+            max_service_time_s=self.max_service_time_s,
+        )
+
+    def observe_transmission_slot(
+        self, now: float, sink_capacity_bps: float, wait_s: float = 0.0
+    ) -> float:
+        """Record a transmission-slot observation; returns the fresh RPST sample."""
+        return self.estimator.observe_slot(now, sink_capacity_bps, wait_s)
+
+    def sink_metric(self) -> float:
+        """Current RCA-ETX_{x,S} (smoothed expected service time, seconds)."""
+        return self.estimator.expected
+
+    def link_metric(
+        self, rssi_dbm: float, capacity_model: LinkCapacityModel
+    ) -> float:
+        """RCA-ETX_{x,y} for an overheard frame at ``rssi_dbm``."""
+        return link_rca_etx(
+            rssi_dbm,
+            capacity_model,
+            packet_bits=self.packet_bits,
+            max_value=self.max_service_time_s,
+        )
+
+    def should_forward_to(
+        self,
+        neighbour_sink_metric: float,
+        rssi_dbm: float,
+        capacity_model: LinkCapacityModel,
+        own_sink_metric: Optional[float] = None,
+    ) -> bool:
+        """Apply Eq. (1) against a neighbour's advertised sink metric."""
+        own = self.sink_metric() if own_sink_metric is None else own_sink_metric
+        link = self.link_metric(rssi_dbm, capacity_model)
+        return should_forward_greedy(own, neighbour_sink_metric, link)

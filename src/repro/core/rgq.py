@@ -1,0 +1,40 @@
+"""Real-time Gateway Quality (RGQ), ``ϕ_x(t) = 1 / RCA-ETX_{x,S}(t)``.
+
+ROBC uses ϕ as a correction factor on queue lengths: a large backlog matters
+less on a device that drains quickly towards the sinks.  For the backpressure
+stability argument to hold, ϕ must stay inside fixed positive bounds
+``0 < ϕ_min ≤ ϕ ≤ ϕ_max < ∞`` (Sec. V-B1); this class owns that clamping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RealTimeGatewayQuality:
+    """Computes bounded ϕ values from RCA-ETX sink metrics."""
+
+    phi_min: float = 1e-6
+    phi_max: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.phi_min <= self.phi_max:
+            raise ValueError(
+                f"bounds must satisfy 0 < phi_min <= phi_max, got "
+                f"({self.phi_min}, {self.phi_max})"
+            )
+
+    def phi(self, sink_metric_s: float) -> float:
+        """ϕ for a node whose RCA-ETX_{x,S} is ``sink_metric_s`` seconds."""
+        if sink_metric_s < 0:
+            raise ValueError(f"sink metric must be non-negative, got {sink_metric_s}")
+        if sink_metric_s == 0:
+            return self.phi_max
+        return min(max(1.0 / sink_metric_s, self.phi_min), self.phi_max)
+
+    def corrected_queue(self, queue_length: float, sink_metric_s: float) -> float:
+        """The ϕ-corrected backlog ``Q / ϕ`` used in the ROBC weight."""
+        if queue_length < 0:
+            raise ValueError(f"queue length must be non-negative, got {queue_length}")
+        return queue_length / self.phi(sink_metric_s)

@@ -1,0 +1,82 @@
+"""ROBC: Real-time Opportunistic Backpressure Collection (Sec. V).
+
+A device ``y`` appends its RCA-ETX and queue length to every uplink.  A device
+``x`` that overhears the packet computes the weight
+
+``ω_{x,y}(t) = Q_x(t)/ϕ_x(t) − Q_y(t)/ϕ_y(t)``            (Eq. 10)
+
+and, when it is positive, hands over
+
+``δ_{x,y}(t) = Q_x(t) − Q_y(t) · ϕ_x/ϕ_y``
+
+messages (clamped to what it actually holds).  Unlike textbook backpressure,
+only the δ amount is transferred (not the full link capacity) to avoid packets
+ping-ponging between devices under sparse, low-duty-cycle links; the receiving
+device also never returns data to the device it got it from (loop guard,
+implemented in the routing layer).
+
+The Queue-based Class-A receive-window rule of Eq. (11) lives here too since
+it is derived from the same quantities (queue length and ϕ).
+"""
+
+from __future__ import annotations
+
+from repro.core.rgq import RealTimeGatewayQuality
+
+
+def robc_weight(
+    own_queue: float,
+    own_sink_metric_s: float,
+    neighbour_queue: float,
+    neighbour_sink_metric_s: float,
+    rgq: RealTimeGatewayQuality = RealTimeGatewayQuality(),
+) -> float:
+    """The ROBC weight ω_{x,y} of Eq. (10); positive means "push towards y"."""
+    return rgq.corrected_queue(own_queue, own_sink_metric_s) - rgq.corrected_queue(
+        neighbour_queue, neighbour_sink_metric_s
+    )
+
+
+def robc_transfer_amount(
+    own_queue: float,
+    own_sink_metric_s: float,
+    neighbour_queue: float,
+    neighbour_sink_metric_s: float,
+    rgq: RealTimeGatewayQuality = RealTimeGatewayQuality(),
+) -> float:
+    """How much data ``x`` should hand to ``y``: ``δ = Q_x − Q_y · ϕ_x/ϕ_y``.
+
+    Returns 0 when the weight is not positive.  The result is clamped to
+    ``[0, own_queue]`` — a device cannot transfer more than it holds.
+    """
+    weight = robc_weight(
+        own_queue, own_sink_metric_s, neighbour_queue, neighbour_sink_metric_s, rgq
+    )
+    if weight <= 0:
+        return 0.0
+    phi_own = rgq.phi(own_sink_metric_s)
+    phi_neighbour = rgq.phi(neighbour_sink_metric_s)
+    delta = own_queue - neighbour_queue * (phi_own / phi_neighbour)
+    return float(min(max(delta, 0.0), own_queue))
+
+
+def queue_based_class_a_window_fraction(
+    queue_length: float,
+    max_queue_length: float,
+    sink_metric_s: float,
+    rgq: RealTimeGatewayQuality = RealTimeGatewayQuality(),
+) -> float:
+    """The Queue-based Class-A receive-window fraction γ_x(t) of Eq. (11).
+
+    ``γ_x(t) = ϕ_max · Q_x(t) / (ϕ_x(t) · Q_max)`` clamped to ``[0, 1]``: a
+    device with a large backlog and a poor gateway link keeps its receiver
+    open longer to raise the odds of finding a helper, whereas a device that
+    drains easily can sleep.
+    """
+    if max_queue_length <= 0:
+        raise ValueError(f"max_queue_length must be positive, got {max_queue_length}")
+    if queue_length < 0:
+        raise ValueError(f"queue_length must be non-negative, got {queue_length}")
+    phi = rgq.phi(sink_metric_s)
+    fraction = rgq.phi_max * queue_length / (phi * max_queue_length)
+    return float(min(max(fraction, 0.0), 1.0))

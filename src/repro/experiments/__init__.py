@@ -1,0 +1,29 @@
+"""Experiment harness.
+
+* :mod:`repro.experiments.config` — scenario configuration (area, gateways,
+  mobility, scheme, device class) with a single ``scale`` knob.
+* :mod:`repro.experiments.scenario` — builds devices, gateways and the
+  time-varying topology from a configuration.
+* :mod:`repro.experiments.runner` — the event-driven MLoRa-SS simulation
+  engine that executes one run and returns :class:`repro.analysis.RunMetrics`.
+* :mod:`repro.experiments.sweeps` — parameter sweeps over gateway density,
+  device range and schemes.
+* :mod:`repro.experiments.figures` — one entry point per paper figure
+  (Figs. 7–13) plus the ablations listed in DESIGN.md.
+* :mod:`repro.experiments.reporting` — plain-text tables of the results.
+"""
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import MLoRaSimulation, run_scenario
+from repro.experiments.scenario import BuiltScenario, build_scenario
+from repro.experiments.sweeps import SweepResult, run_gateway_sweep
+
+__all__ = [
+    "ScenarioConfig",
+    "MLoRaSimulation",
+    "run_scenario",
+    "BuiltScenario",
+    "build_scenario",
+    "SweepResult",
+    "run_gateway_sweep",
+]

@@ -1,0 +1,89 @@
+"""Plain-text reporting of figure data.
+
+The benchmark harness prints these tables so a run of
+``pytest benchmarks/ --benchmark-only`` leaves a textual record of the same
+rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import RunMetrics
+from repro.experiments.figures import BusNetworkProperties, FigureRow, ThroughputTimeSeries
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A simple fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+
+    def _format_row(cells: Sequence[object]) -> str:
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    lines.append(_format_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(_format_row(row))
+    return "\n".join(lines)
+
+
+def format_figure_rows(title: str, rows: Sequence[FigureRow], unit: str = "") -> str:
+    """Format the rows of a density-sweep figure (Figs. 8, 9, 12, 13)."""
+    header_unit = f" [{unit}]" if unit else ""
+    table_rows = [
+        (row.environment, row.num_gateways, row.scheme, f"{row.value:.2f}")
+        for row in rows
+    ]
+    table = format_table(
+        ("environment", "gateways", "scheme", f"value{header_unit}"), table_rows
+    )
+    return f"{title}\n{table}"
+
+
+def format_bus_network(title: str, properties: BusNetworkProperties) -> str:
+    """Format the Fig. 7 summary (active-bus profile and duration statistics)."""
+    durations = properties.active_durations_s
+    mean_duration = sum(durations) / len(durations) if durations else float("nan")
+    rows = [
+        ("peak active buses", properties.peak_active_buses),
+        ("night active buses", properties.night_active_buses),
+        ("trips", len(durations)),
+        ("mean trip duration [min]", f"{mean_duration / 60.0:.1f}"),
+        ("max trip duration [min]", f"{max(durations) / 60.0:.1f}" if durations else "nan"),
+    ]
+    return f"{title}\n" + format_table(("quantity", "value"), rows)
+
+
+def format_timeseries(title: str, series: ThroughputTimeSeries, max_bins: int = 12) -> str:
+    """Format a throughput-over-time figure (Figs. 10–11), downsampled for readability."""
+    n_bins = len(series.bin_starts_s)
+    step = max(n_bins // max_bins, 1)
+    rows = []
+    for index in range(0, n_bins, step):
+        row = [f"{series.bin_starts_s[index] / 3600.0:.1f}h"]
+        for scheme in sorted(series.series_by_scheme):
+            row.append(f"{series.series_by_scheme[scheme][index]:.0f}")
+        rows.append(tuple(row))
+    headers = ("time",) + tuple(sorted(series.series_by_scheme))
+    totals = ", ".join(
+        f"{scheme}={series.total(scheme):.0f}" for scheme in sorted(series.series_by_scheme)
+    )
+    return f"{title} ({series.environment})\ntotals: {totals}\n" + format_table(headers, rows)
+
+
+def format_metric_comparison(
+    title: str, results: Dict[str, RunMetrics], metrics: Sequence[str]
+) -> str:
+    """Format a dictionary of runs (ablations) across the requested metric attributes."""
+    rows = []
+    for key in sorted(results, key=str):
+        run = results[key]
+        rows.append(
+            (str(key),)
+            + tuple(f"{float(getattr(run, metric)):.3f}" for metric in metrics)
+        )
+    return f"{title}\n" + format_table(("variant",) + tuple(metrics), rows)

@@ -1,0 +1,339 @@
+"""The event-driven MLoRa-SS simulation engine.
+
+The engine mirrors the evaluation setup of Sec. VII-A:
+
+* every bus carries a LoRa device that generates a 20-byte message every
+  3 minutes while it is in service and stores it in a FIFO queue;
+* at every message generation (and at retransmission opportunities after a
+  failed uplink) the device bundles up to 12 queued messages, appends its
+  RCA-ETX value (and queue length for ROBC) and transmits on the shared SF7
+  channel, subject to the 1 % duty cycle;
+* gateways within range decode the frame unless a same-channel collision
+  without capture destroys it; the network server deduplicates and
+  acknowledges instantly, clearing the acknowledged messages from the queue;
+* every *listening* device within device-to-device range overhears the frame
+  and consults the forwarding scheme; a positive decision triggers a
+  device-to-device handover frame (also duty-cycle constrained) that moves —
+  or, for the DTN baselines, copies — part of the overhearing device's queue
+  onto the transmitter;
+* failed uplinks are retried up to eight times, each retry waiting out the
+  duty-cycle off-time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import RunMetrics, compute_run_metrics
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.scenario import BuiltScenario, build_scenario
+from repro.mac.device import EndDevice
+from repro.mac.frames import DataMessage, UplinkPacket
+from repro.mac.network_server import NetworkServer
+from repro.phy.airtime import AirtimeCalculator, LoRaTransmissionParameters
+from repro.phy.collision import CollisionModel, Transmission
+from repro.phy.link import LinkQualityEstimator
+from repro.sim.kernel import Simulator
+
+#: Events with this priority run after transmission completions at equal times.
+_COMPLETION_PRIORITY = 1
+_ATTEMPT_PRIORITY = 2
+
+#: Transmissions older than this are dropped from the collision registry.
+_COLLISION_RETENTION_S = 10.0
+
+
+class MLoRaSimulation:
+    """One complete simulation run of a built scenario."""
+
+    def __init__(self, scenario: BuiltScenario) -> None:
+        self.scenario = scenario
+        self.config = scenario.config
+        self.simulator = Simulator()
+        self.server = NetworkServer()
+        self.collision_model = CollisionModel()
+        self.airtime = AirtimeCalculator(LoRaTransmissionParameters())
+        self.link_quality = LinkQualityEstimator()
+        self._reception_rng = scenario.streams.stream("reception")
+        self._attempt_scheduled: Dict[str, bool] = {
+            device_id: False for device_id in scenario.devices
+        }
+        self._handover_count = 0
+        self._handed_over_messages = 0
+
+    # ------------------------------------------------------------------ #
+    # Run control
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunMetrics:
+        """Execute the scenario and return the run metrics."""
+        self._schedule_generation_processes()
+        self.simulator.run(until=self.config.duration_s)
+        self._account_idle_energy()
+        return compute_run_metrics(
+            scheme=self.config.scheme,
+            num_gateways=self.config.num_gateways,
+            device_range_m=self.config.device_range_m,
+            duration_s=self.config.duration_s,
+            devices=list(self.scenario.devices.values()),
+            server=self.server,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Message generation
+    # ------------------------------------------------------------------ #
+    def _schedule_generation_processes(self) -> None:
+        interval = self.config.device.message_interval_s
+        for device_id, trace in self.scenario.traces.items():
+            start = max(trace.start_time, 0.0)
+            if start >= self.config.duration_s:
+                continue
+            time = start
+            end = min(trace.end_time, self.config.duration_s)
+            while time < end:
+                self.simulator.schedule(
+                    time,
+                    self._on_generation_tick,
+                    payload=device_id,
+                    priority=_ATTEMPT_PRIORITY,
+                )
+                time += interval
+
+    def _on_generation_tick(self, device_id: str) -> None:
+        device = self.scenario.devices[device_id]
+        now = self.simulator.now
+        trace = self.scenario.traces[device_id]
+        if not trace.is_active(now):
+            return
+        device.generate_message(now)
+        self._attempt_uplink(device_id)
+
+    # ------------------------------------------------------------------ #
+    # Uplink attempts
+    # ------------------------------------------------------------------ #
+    def _schedule_attempt(self, device_id: str, time: float) -> None:
+        if self._attempt_scheduled.get(device_id):
+            return
+        if time >= self.config.duration_s:
+            return
+        self._attempt_scheduled[device_id] = True
+        self.simulator.schedule(
+            max(time, self.simulator.now),
+            self._on_scheduled_attempt,
+            payload=device_id,
+            priority=_ATTEMPT_PRIORITY,
+        )
+
+    def _on_scheduled_attempt(self, device_id: str) -> None:
+        self._attempt_scheduled[device_id] = False
+        self._attempt_uplink(device_id)
+
+    def _attempt_uplink(self, device_id: str) -> None:
+        device = self.scenario.devices[device_id]
+        now = self.simulator.now
+        trace = self.scenario.traces[device_id]
+        if not trace.is_active(now):
+            return
+        if not device.has_data():
+            return
+        if not device.can_transmit(now):
+            self._schedule_attempt(device_id, device.duty_cycle.next_allowed_time)
+            return
+        self._transmit_uplink(device)
+
+    def _transmit_uplink(self, device: EndDevice) -> None:
+        now = self.simulator.now
+        topology = self.scenario.topology
+        scheme = self.scenario.scheme
+
+        # The transmission slot doubles as the RCA-ETX observation point: the
+        # device measures its current sink capacity and refreshes its RPST.
+        gateways_in_range = topology.gateways_in_range(device.device_id, now)
+        sink_capacity = max(
+            (link.capacity_bps for _, link in gateways_in_range), default=0.0
+        )
+        device.rca_etx.observe_transmission_slot(now, sink_capacity, wait_s=0.0)
+
+        packet = device.build_uplink(now, include_queue_length=scheme.requires_queue_length)
+        airtime_s = self.airtime.time_on_air_s(min(packet.payload_bytes, 255))
+        device.record_uplink(now, airtime_s)
+
+        rssi_by_receiver: Dict[str, float] = {}
+        for gateway_id, link in gateways_in_range:
+            rssi_by_receiver[gateway_id] = link.rssi_dbm
+        overhearers: Dict[str, float] = {}
+        if scheme.uses_forwarding:
+            for neighbour_id, link in topology.neighbours(device.device_id, now):
+                neighbour = self.scenario.devices[neighbour_id]
+                if neighbour.is_listening(now):
+                    rssi_by_receiver[neighbour_id] = link.rssi_dbm
+                    overhearers[neighbour_id] = link.rssi_dbm
+
+        transmission = Transmission(
+            sender=device.device_id,
+            start_time=now,
+            duration=airtime_s,
+            rssi_by_receiver=rssi_by_receiver,
+        )
+        self.collision_model.add(transmission)
+        self.simulator.schedule(
+            now + airtime_s,
+            self._on_uplink_complete,
+            payload=(device.device_id, packet, transmission, overhearers),
+            priority=_COMPLETION_PRIORITY,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Uplink resolution
+    # ------------------------------------------------------------------ #
+    def _on_uplink_complete(self, payload) -> None:
+        device_id, packet, transmission, overhearers = payload
+        device = self.scenario.devices[device_id]
+        now = self.simulator.now
+
+        delivered_gateway = self._resolve_gateway_reception(packet, transmission)
+        if delivered_gateway is not None:
+            ack = self.server.process_uplink(packet, delivered_gateway, now)
+            self.scenario.gateways[delivered_gateway].receive(packet)
+            device.on_acknowledged(ack.acked_message_ids)
+            # Keep draining the backlog: a device with more queued data uses
+            # its next duty-cycle opportunity instead of waiting for the next
+            # generation tick.
+            if device.has_data():
+                self._schedule_attempt(device_id, device.duty_cycle.next_allowed_time)
+        else:
+            retry_allowed = device.on_uplink_failed()
+            if retry_allowed and device.has_data():
+                self._schedule_attempt(device_id, device.duty_cycle.next_allowed_time)
+
+        if self.scenario.scheme.uses_forwarding:
+            self._resolve_overhearing(device, packet, transmission, overhearers)
+
+        # Trim the collision registry opportunistically; doing it on every
+        # completion is wasteful when many devices transmit.
+        if len(self.collision_model) > 64:
+            self.collision_model.expire(now - _COLLISION_RETENTION_S)
+
+    def _resolve_gateway_reception(
+        self, packet: UplinkPacket, transmission: Transmission
+    ) -> Optional[str]:
+        """The gateway (if any) that decodes the frame, best RSSI first."""
+        candidates = [
+            (rssi, receiver)
+            for receiver, rssi in transmission.rssi_by_receiver.items()
+            if receiver in self.scenario.gateways
+        ]
+        for rssi, gateway_id in sorted(candidates, reverse=True):
+            if not self.collision_model.is_received(transmission, gateway_id):
+                continue
+            if self.link_quality.frame_received(rssi, self._reception_rng):
+                return gateway_id
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Overhearing and handovers
+    # ------------------------------------------------------------------ #
+    def _resolve_overhearing(
+        self,
+        sender: EndDevice,
+        packet: UplinkPacket,
+        transmission: Transmission,
+        overhearers: Dict[str, float],
+    ) -> None:
+        now = self.simulator.now
+        scheme = self.scenario.scheme
+        for neighbour_id, rssi in overhearers.items():
+            neighbour = self.scenario.devices[neighbour_id]
+            if not self.collision_model.is_received(transmission, neighbour_id):
+                continue
+            decision = scheme.on_overhear(
+                neighbour, packet, rssi, self.scenario.capacity_model, now
+            )
+            if not decision.forward:
+                continue
+            self._perform_handover(neighbour, sender, decision.message_limit, decision.copy)
+
+    def _perform_handover(
+        self, giver: EndDevice, taker: EndDevice, limit: int, copy: bool
+    ) -> None:
+        now = self.simulator.now
+        if not giver.can_transmit(now):
+            # The duty cycle forbids an immediate handover frame; the
+            # opportunity is simply lost, as it would be on hardware.
+            return
+        if not self.scenario.topology.in_contact(giver.device_id, taker.device_id, now):
+            return
+        messages = giver.transferable_messages(taker.device_id, limit)
+        if not messages:
+            return
+
+        payload_bytes = 13 + sum(m.size_bytes for m in messages)
+        airtime_s = self.airtime.time_on_air_s(min(payload_bytes, 255))
+        giver.record_handover_transmission(now, airtime_s)
+
+        # The handover frame occupies the same shared channel as uplinks, so
+        # it interferes with any gateway that can hear the giver.  This is the
+        # congestion cost of device-to-device forwarding.
+        handover_rssi = {
+            gateway_id: link.rssi_dbm
+            for gateway_id, link in self.scenario.topology.gateways_in_range(
+                giver.device_id, now
+            )
+        }
+        if handover_rssi:
+            self.collision_model.add(
+                Transmission(
+                    sender=giver.device_id,
+                    start_time=now,
+                    duration=airtime_s,
+                    rssi_by_receiver=handover_rssi,
+                )
+            )
+
+        if copy:
+            transferred = [self._clone_message(m) for m in messages]
+        else:
+            transferred = giver.release_messages(m.message_id for m in messages)
+        accepted = taker.accept_handover(transferred, giver.device_id)
+        self._handover_count += 1
+        self._handed_over_messages += accepted
+        # The new carrier uploads at its next opportunity; make sure one exists
+        # even if its own generation tick is far away.
+        self._schedule_attempt(taker.device_id, taker.duty_cycle.next_allowed_time)
+
+    @staticmethod
+    def _clone_message(message: DataMessage) -> DataMessage:
+        """An independent copy of a message (replication keeps ids, so the
+        server still deduplicates; hop counts evolve per copy)."""
+        return dataclass_replace(message)
+
+    # ------------------------------------------------------------------ #
+    # Energy
+    # ------------------------------------------------------------------ #
+    def _account_idle_energy(self) -> None:
+        for device_id, device in self.scenario.devices.items():
+            trace = self.scenario.traces[device_id]
+            active_start = min(trace.start_time, self.config.duration_s)
+            active_end = min(trace.end_time, self.config.duration_s)
+            active = max(active_end - active_start, 0.0)
+            tx_time = device.duty_cycle.total_airtime_s
+            device.account_idle_period(max(active - tx_time, 0.0))
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def handover_count(self) -> int:
+        """Number of device-to-device handover frames sent."""
+        return self._handover_count
+
+    @property
+    def handed_over_messages(self) -> int:
+        """Number of messages that changed carrier at least once via this engine."""
+        return self._handed_over_messages
+
+
+def run_scenario(config: ScenarioConfig) -> RunMetrics:
+    """Build and run a scenario in one call."""
+    scenario = build_scenario(config)
+    return MLoRaSimulation(scenario).run()

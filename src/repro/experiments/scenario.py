@@ -1,0 +1,156 @@
+"""Scenario construction: from a :class:`ScenarioConfig` to simulation objects.
+
+Builds the bus network (mobility traces), one :class:`EndDevice` per bus, the
+gateway deployment (uniform grid as in the paper, or uniform-random for the
+placement ablation), and the time-varying topology they all live in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.config import ScenarioConfig
+from repro.mac.device import EndDevice
+from repro.mac.device_classes import (
+    ClassADevice,
+    ClassCDevice,
+    DeviceClass,
+    ModifiedClassC,
+    QueueBasedClassA,
+)
+from repro.mac.gateway import Gateway
+from repro.mobility.geometry import BoundingBox, Point, grid_positions
+from repro.mobility.london import LondonBusNetworkGenerator
+from repro.mobility.trace import MobilityTrace
+from repro.network.node import DeviceNode, SinkNode
+from repro.network.topology import TimeVaryingTopology, TopologyConfig
+from repro.phy.link import LinkCapacityModel
+from repro.phy.pathloss import LogDistancePathLoss
+from repro.routing import ForwardingScheme, make_scheme
+from repro.sim.randomness import RandomStreams
+
+_DEVICE_CLASS_REGISTRY = {
+    "class-a": ClassADevice,
+    "class-c": ClassCDevice,
+    "modified-class-c": ModifiedClassC,
+    "queue-based-class-a": QueueBasedClassA,
+}
+
+
+def make_device_class(name: str) -> DeviceClass:
+    """Instantiate a device class by name."""
+    try:
+        return _DEVICE_CLASS_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown device class {name!r}; available: {sorted(_DEVICE_CLASS_REGISTRY)}"
+        ) from None
+
+
+@dataclass
+class BuiltScenario:
+    """Everything the runner needs for one simulation."""
+
+    config: ScenarioConfig
+    streams: RandomStreams
+    bounding_box: BoundingBox
+    traces: Dict[str, MobilityTrace]
+    devices: Dict[str, EndDevice]
+    gateways: Dict[str, Gateway]
+    topology: TimeVaryingTopology
+    scheme: ForwardingScheme
+    capacity_model: LinkCapacityModel
+
+    @property
+    def num_devices(self) -> int:
+        """Number of end-devices (buses) in the scenario."""
+        return len(self.devices)
+
+
+def _gateway_positions(
+    config: ScenarioConfig, box: BoundingBox, rng: np.random.Generator
+) -> List[Point]:
+    if config.gateway_placement == "grid":
+        return grid_positions(box, config.num_gateways)
+    return [
+        Point(
+            float(rng.uniform(box.min_x, box.max_x)),
+            float(rng.uniform(box.min_y, box.max_y)),
+        )
+        for _ in range(config.num_gateways)
+    ]
+
+
+def build_scenario(config: ScenarioConfig) -> BuiltScenario:
+    """Construct mobility, devices, gateways and topology for ``config``."""
+    streams = RandomStreams(config.seed)
+
+    # Mobility: synthetic London bus network.
+    mobility_config = config.mobility_config()
+    generator = LondonBusNetworkGenerator(mobility_config, streams.stream("mobility"))
+    timetable = generator.generate()
+    box = generator.bounding_box
+
+    traces: Dict[str, MobilityTrace] = {}
+    devices: Dict[str, EndDevice] = {}
+    device_nodes: List[DeviceNode] = []
+    for index, trip in enumerate(timetable.trips):
+        device_id = f"bus-{index:04d}"
+        trace = MobilityTrace(
+            points=_trip_trace_points(trip),
+            node_id=device_id,
+        )
+        traces[device_id] = trace
+        devices[device_id] = EndDevice(
+            device_id,
+            config=config.device,
+            device_class=make_device_class(config.device_class),
+        )
+        device_nodes.append(DeviceNode(device_id, trace))
+
+    # Gateways.
+    gateway_rng = streams.stream("gateway-placement")
+    gateways: Dict[str, Gateway] = {}
+    sink_nodes: List[SinkNode] = []
+    for index, position in enumerate(_gateway_positions(config, box, gateway_rng)):
+        gateway_id = f"gw-{index:03d}"
+        gateways[gateway_id] = Gateway(gateway_id, position)
+        sink_nodes.append(SinkNode(gateway_id, position))
+
+    # Radio models and topology.
+    capacity_model = LinkCapacityModel.for_spreading_factor()
+    topology = TimeVaryingTopology(
+        devices=device_nodes,
+        sinks=sink_nodes,
+        config=TopologyConfig(
+            gateway_range_m=config.gateway_range_m,
+            device_range_m=config.device_range_m,
+            shadowing_enabled=config.shadowing,
+        ),
+        path_loss=LogDistancePathLoss(),
+        capacity_model=capacity_model,
+        rng=streams.stream("shadowing"),
+    )
+
+    scheme = make_scheme(config.scheme)
+    return BuiltScenario(
+        config=config,
+        streams=streams,
+        bounding_box=box,
+        traces=traces,
+        devices=devices,
+        gateways=gateways,
+        topology=topology,
+        scheme=scheme,
+        capacity_model=capacity_model,
+    )
+
+
+def _trip_trace_points(trip):
+    """Build the trace points of one trip (thin wrapper kept for patching in tests)."""
+    from repro.mobility.route import build_trip_trace
+
+    return build_trip_trace(trip).points

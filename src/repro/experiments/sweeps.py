@@ -1,0 +1,97 @@
+"""Parameter sweeps over gateway density, device range and schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.metrics import RunMetrics
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+
+#: The gateway counts the paper sweeps in Figs. 8, 9, 12 and 13.
+PAPER_GATEWAY_COUNTS: Tuple[int, ...] = (40, 50, 60, 70, 80, 90, 100)
+
+#: The three schemes the paper evaluates (Sec. VII-A7).
+PAPER_SCHEMES: Tuple[str, ...] = ("no-routing", "rca-etx", "robc")
+
+#: Device-to-device communication ranges for urban and rural settings.
+URBAN_DEVICE_RANGE_M = 500.0
+RURAL_DEVICE_RANGE_M = 1000.0
+
+
+@dataclass
+class SweepResult:
+    """All runs of a sweep, indexed by (scheme, gateway count, device range)."""
+
+    runs: Dict[Tuple[str, int, float], RunMetrics] = field(default_factory=dict)
+
+    def add(self, metrics: RunMetrics) -> None:
+        """Register a finished run."""
+        key = (metrics.scheme, metrics.num_gateways, metrics.device_range_m)
+        self.runs[key] = metrics
+
+    def get(self, scheme: str, num_gateways: int, device_range_m: float) -> RunMetrics:
+        """The metrics of one run; raises ``KeyError`` when missing."""
+        return self.runs[(scheme, num_gateways, device_range_m)]
+
+    def schemes(self) -> List[str]:
+        """Schemes present in the sweep (sorted for stable reporting)."""
+        return sorted({scheme for scheme, _, _ in self.runs})
+
+    def gateway_counts(self) -> List[int]:
+        """Gateway counts present in the sweep."""
+        return sorted({count for _, count, _ in self.runs})
+
+    def device_ranges(self) -> List[float]:
+        """Device-to-device ranges present in the sweep."""
+        return sorted({rng for _, _, rng in self.runs})
+
+    def series(
+        self, scheme: str, device_range_m: float, metric: str
+    ) -> List[Tuple[int, float]]:
+        """A (gateway count, metric value) series for one scheme and range."""
+        points: List[Tuple[int, float]] = []
+        for count in self.gateway_counts():
+            key = (scheme, count, device_range_m)
+            if key not in self.runs:
+                continue
+            points.append((count, float(getattr(self.runs[key], metric))))
+        return points
+
+
+def run_gateway_sweep(
+    base_config: ScenarioConfig,
+    gateway_counts: Sequence[int] = PAPER_GATEWAY_COUNTS,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    device_ranges_m: Sequence[float] = (URBAN_DEVICE_RANGE_M,),
+    gateway_scale: float = 1.0,
+) -> SweepResult:
+    """Run every (scheme, gateway count, device range) combination.
+
+    ``gateway_scale`` maps the paper's nominal gateway counts onto the scaled
+    scenario (e.g. a 0.25-scale area uses a quarter of the gateways while the
+    reported x-axis keeps the paper's labels).  The metrics keep the *nominal*
+    count so downstream tables line up with the paper's figures.
+    """
+    if gateway_scale <= 0:
+        raise ValueError("gateway_scale must be positive")
+    result = SweepResult()
+    for device_range in device_ranges_m:
+        for nominal_count in gateway_counts:
+            actual_count = max(1, round(nominal_count * gateway_scale))
+            for scheme in schemes:
+                config = (
+                    base_config.with_scheme(scheme)
+                    .with_gateways(actual_count)
+                    .with_device_range(device_range)
+                )
+                metrics = run_scenario(config)
+                metrics.num_gateways = nominal_count
+                result.add(metrics)
+    return result
+
+
+def run_replications(config: ScenarioConfig, seeds: Iterable[int]) -> List[RunMetrics]:
+    """Run the same configuration under several seeds (for confidence intervals)."""
+    return [run_scenario(config.with_seed(seed)) for seed in seeds]

@@ -1,0 +1,45 @@
+"""LoRaWAN MAC layer.
+
+Implements the pieces of the LoRaWAN specification the evaluation depends on:
+frame/packet structures with the paper's piggybacked metric fields
+(:mod:`repro.mac.frames`), the per-band duty-cycle regulator
+(:mod:`repro.mac.duty_cycle`), the FIFO application-layer data queue
+(:mod:`repro.mac.queueing`), the device classes including the paper's
+Modified Class-C and Queue-based Class-A (:mod:`repro.mac.device_classes`),
+the end-device MAC state (:mod:`repro.mac.device`), gateways
+(:mod:`repro.mac.gateway`) and the network server that deduplicates and
+acknowledges uplinks (:mod:`repro.mac.network_server`).
+"""
+
+from repro.mac.device import DeviceConfig, DeviceStats, EndDevice
+from repro.mac.device_classes import (
+    ClassADevice,
+    ClassCDevice,
+    DeviceClass,
+    ModifiedClassC,
+    QueueBasedClassA,
+)
+from repro.mac.duty_cycle import DutyCycleRegulator
+from repro.mac.frames import Acknowledgement, DataMessage, UplinkPacket
+from repro.mac.gateway import Gateway
+from repro.mac.network_server import DeliveryRecord, NetworkServer
+from repro.mac.queueing import DataQueue
+
+__all__ = [
+    "DeviceConfig",
+    "DeviceStats",
+    "EndDevice",
+    "ClassADevice",
+    "ClassCDevice",
+    "DeviceClass",
+    "ModifiedClassC",
+    "QueueBasedClassA",
+    "DutyCycleRegulator",
+    "Acknowledgement",
+    "DataMessage",
+    "UplinkPacket",
+    "Gateway",
+    "DeliveryRecord",
+    "NetworkServer",
+    "DataQueue",
+]

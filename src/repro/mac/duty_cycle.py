@@ -1,0 +1,73 @@
+"""Per-device duty-cycle regulation (EU868 general channels: 1 %).
+
+After transmitting a frame of airtime ``T`` the device must stay silent for
+``T · (1/duty − 1)`` on that band.  The regulator tracks the earliest time a
+new transmission may start and, for diagnostics, the cumulative airtime used.
+"""
+
+from __future__ import annotations
+
+from repro.phy.constants import EU868_DUTY_CYCLE
+
+
+class DutyCycleRegulator:
+    """Enforces the minimum off-time after each transmission."""
+
+    def __init__(self, duty_cycle: float = EU868_DUTY_CYCLE) -> None:
+        if not 0 < duty_cycle <= 1:
+            raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        self.duty_cycle = duty_cycle
+        self._next_allowed_time = 0.0
+        self._total_airtime_s = 0.0
+        self._transmissions = 0
+
+    @property
+    def next_allowed_time(self) -> float:
+        """Earliest simulation time at which the next transmission may start."""
+        return self._next_allowed_time
+
+    @property
+    def total_airtime_s(self) -> float:
+        """Cumulative time on air so far."""
+        return self._total_airtime_s
+
+    @property
+    def transmission_count(self) -> int:
+        """Number of transmissions recorded."""
+        return self._transmissions
+
+    def can_transmit(self, now: float) -> bool:
+        """True when a transmission may start at ``now``."""
+        return now >= self._next_allowed_time
+
+    def wait_time(self, now: float) -> float:
+        """Seconds until the next transmission is allowed (0 when allowed now)."""
+        return max(self._next_allowed_time - now, 0.0)
+
+    def record_transmission(self, now: float, airtime_s: float) -> float:
+        """Account for a transmission starting at ``now``; returns the next allowed time.
+
+        Raises
+        ------
+        ValueError
+            If the transmission starts before the off-time expired or has a
+            non-positive airtime.
+        """
+        if airtime_s <= 0:
+            raise ValueError(f"airtime must be positive, got {airtime_s}")
+        if not self.can_transmit(now):
+            raise ValueError(
+                f"transmission at {now:.3f}s violates duty cycle; "
+                f"next allowed at {self._next_allowed_time:.3f}s"
+            )
+        self._total_airtime_s += airtime_s
+        self._transmissions += 1
+        off_time = airtime_s * (1.0 / self.duty_cycle - 1.0)
+        self._next_allowed_time = now + airtime_s + off_time
+        return self._next_allowed_time
+
+    def utilisation(self, horizon_s: float) -> float:
+        """Fraction of ``horizon_s`` spent transmitting (diagnostic)."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        return self._total_airtime_s / horizon_s

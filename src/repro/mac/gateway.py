@@ -1,0 +1,42 @@
+"""LoRaWAN gateways.
+
+Gateways are simple in LoRaWAN: they demodulate every frame they can hear and
+forward it to the network server over a backhaul assumed instantaneous (the
+paper makes the same assumption for acknowledgements, Sec. VII-C).  The class
+therefore only tracks reception statistics; reception decisions themselves are
+made by the PHY/collision layer in the simulation engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.mobility.geometry import Point
+from repro.mac.frames import UplinkPacket
+
+
+@dataclass
+class Gateway:
+    """A static LoRaWAN gateway at a fixed position."""
+
+    gateway_id: str
+    position: Point
+    frames_received: int = 0
+    messages_received: int = 0
+    frames_by_device: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.gateway_id:
+            raise ValueError("gateway_id must be a non-empty string")
+
+    def receive(self, packet: UplinkPacket) -> None:
+        """Record the reception of an uplink frame."""
+        self.frames_received += 1
+        self.messages_received += len(packet)
+        self.frames_by_device[packet.sender] = self.frames_by_device.get(packet.sender, 0) + 1
+
+    @property
+    def distinct_devices_heard(self) -> int:
+        """Number of different devices this gateway has heard from."""
+        return len(self.frames_by_device)

@@ -1,0 +1,85 @@
+"""The application-layer FIFO data queue each device maintains (Sec. VII-A4).
+
+Messages stay in the queue until a gateway acknowledges them or they are
+handed over to another device.  The queue enforces an optional capacity (drop
+from the tail when full, i.e. new data is lost, which is the conservative
+choice for a telemetry workload) and refuses duplicates by message id.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional
+
+from repro.mac.frames import DataMessage
+
+
+class DataQueue:
+    """A FIFO queue of :class:`DataMessage` objects with optional capacity."""
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size <= 0:
+            raise ValueError(f"max_size must be positive or None, got {max_size}")
+        self.max_size = max_size
+        self._messages: "OrderedDict[int, DataMessage]" = OrderedDict()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __contains__(self, message_id: int) -> bool:
+        return message_id in self._messages
+
+    @property
+    def is_full(self) -> bool:
+        """True when the queue is at capacity."""
+        return self.max_size is not None and len(self._messages) >= self.max_size
+
+    def push(self, message: DataMessage) -> bool:
+        """Append ``message``; returns False (and counts a drop) if full or duplicate."""
+        if message.message_id in self._messages:
+            return False
+        if self.is_full:
+            self.dropped += 1
+            return False
+        self._messages[message.message_id] = message
+        return True
+
+    def extend(self, messages: Iterable[DataMessage]) -> int:
+        """Push several messages; returns how many were accepted."""
+        return sum(1 for message in messages if self.push(message))
+
+    def peek(self, count: int) -> List[DataMessage]:
+        """The first ``count`` messages in FIFO order, without removing them."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        result: List[DataMessage] = []
+        for message in self._messages.values():
+            if len(result) >= count:
+                break
+            result.append(message)
+        return result
+
+    def peek_all(self) -> List[DataMessage]:
+        """All queued messages in FIFO order, without removing them."""
+        return list(self._messages.values())
+
+    def remove(self, message_ids: Iterable[int]) -> List[DataMessage]:
+        """Remove and return the messages whose ids are in ``message_ids``."""
+        removed: List[DataMessage] = []
+        for message_id in message_ids:
+            message = self._messages.pop(message_id, None)
+            if message is not None:
+                removed.append(message)
+        return removed
+
+    def pop_front(self, count: int) -> List[DataMessage]:
+        """Remove and return the first ``count`` messages in FIFO order."""
+        front = self.peek(count)
+        return self.remove(m.message_id for m in front)
+
+    def clear(self) -> List[DataMessage]:
+        """Remove and return every queued message."""
+        messages = list(self._messages.values())
+        self._messages.clear()
+        return messages

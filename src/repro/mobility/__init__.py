@@ -1,0 +1,31 @@
+"""Mobility substrate.
+
+The paper drives its evaluation with SUMO replaying Transport-for-London bus
+timetables.  This package replaces that pipeline with: plane geometry
+(:mod:`repro.mobility.geometry`), bus routes with per-trip timetables
+(:mod:`repro.mobility.route`), piecewise-linear position traces
+(:mod:`repro.mobility.trace`), a synthetic London-like bus-network generator
+calibrated to Fig. 7 of the paper (:mod:`repro.mobility.london`) and simple
+mobility models used by unit tests (:mod:`repro.mobility.generators`).
+"""
+
+from repro.mobility.geometry import BoundingBox, Point, grid_positions
+from repro.mobility.generators import RandomWaypointMobility, StaticMobility
+from repro.mobility.london import LondonBusNetworkConfig, LondonBusNetworkGenerator
+from repro.mobility.route import BusRoute, Trip, build_trip_trace
+from repro.mobility.trace import MobilityTrace, TracePoint
+
+__all__ = [
+    "BoundingBox",
+    "Point",
+    "grid_positions",
+    "RandomWaypointMobility",
+    "StaticMobility",
+    "LondonBusNetworkConfig",
+    "LondonBusNetworkGenerator",
+    "BusRoute",
+    "Trip",
+    "build_trip_trace",
+    "MobilityTrace",
+    "TracePoint",
+]

@@ -1,0 +1,127 @@
+"""Plane geometry helpers.
+
+The simulation area is a flat Cartesian plane in metres (adequate for a
+600 km² urban area at LoRa ranges; geodesic effects are far below shadowing
+noise).  Besides points and bounding boxes this module provides the uniform
+grid placement the paper uses for gateways (Sec. VII-A6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Point:
+    """A position in metres on the simulation plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def interpolate(self, other: "Point", fraction: float) -> "Point":
+        """The point ``fraction`` of the way from ``self`` to ``other`` (clamped to [0, 1])."""
+        f = min(max(fraction, 0.0), 1.0)
+        return Point(self.x + (other.x - self.x) * f, self.y + (other.y - self.y) * f)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """A new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle on the plane."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError("bounding box max must not be below min")
+
+    @classmethod
+    def square(cls, side_m: float, origin: Point = Point(0.0, 0.0)) -> "BoundingBox":
+        """A square of ``side_m`` metres anchored at ``origin``."""
+        if side_m <= 0:
+            raise ValueError(f"side must be positive, got {side_m}")
+        return cls(origin.x, origin.y, origin.x + side_m, origin.y + side_m)
+
+    @classmethod
+    def from_area_km2(cls, area_km2: float) -> "BoundingBox":
+        """A square box with the requested area in km² (e.g. 600 km² as in the paper)."""
+        if area_km2 <= 0:
+            raise ValueError(f"area must be positive, got {area_km2}")
+        side_m = math.sqrt(area_km2) * 1000.0
+        return cls.square(side_m)
+
+    @property
+    def width(self) -> float:
+        """Extent along x in metres."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y in metres."""
+        return self.max_y - self.min_y
+
+    @property
+    def area_km2(self) -> float:
+        """Area in square kilometres."""
+        return (self.width * self.height) / 1e6
+
+    @property
+    def center(self) -> Point:
+        """Centre of the box."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """True if ``point`` lies inside the box (boundaries included)."""
+        return self.min_x <= point.x <= self.max_x and self.min_y <= point.y <= self.max_y
+
+    def clamp(self, point: Point) -> Point:
+        """The closest point inside the box to ``point``."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+
+def grid_positions(box: BoundingBox, count: int) -> List[Point]:
+    """Place ``count`` points on a near-square uniform grid inside ``box``.
+
+    This mirrors the paper's uniform gateway grid: the grid dimensions are the
+    most balanced factorisation of the smallest grid holding ``count`` cells,
+    and each point sits at its cell centre.  Exactly ``count`` points are
+    returned (surplus grid cells are dropped row-major from the end).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    columns = int(math.ceil(math.sqrt(count)))
+    rows = int(math.ceil(count / columns))
+    cell_w = box.width / columns
+    cell_h = box.height / rows
+    points: List[Point] = []
+    for row in range(rows):
+        for col in range(columns):
+            if len(points) >= count:
+                break
+            points.append(
+                Point(
+                    box.min_x + (col + 0.5) * cell_w,
+                    box.min_y + (row + 0.5) * cell_h,
+                )
+            )
+    return points
+
+
+def mph_to_mps(speed_mph: float) -> float:
+    """Convert miles per hour to metres per second (bus speeds are quoted in mph)."""
+    return speed_mph * 0.44704

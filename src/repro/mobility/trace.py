@@ -1,0 +1,124 @@
+"""Mobility traces: positions over time with piecewise-linear interpolation.
+
+A :class:`MobilityTrace` is the common currency between the mobility layer and
+the network layer: every mobile node exposes one, and the time-varying
+topology queries it for a position at an arbitrary simulation time.  Nodes are
+considered *inactive* (off the road, radio off) outside the trace's time span,
+which is how buses entering and leaving service are modelled.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.mobility.geometry import Point
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """A time-stamped position sample."""
+
+    time: float
+    position: Point
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"trace time must be non-negative, got {self.time}")
+
+
+class MobilityTrace:
+    """An ordered sequence of :class:`TracePoint` samples.
+
+    Positions between samples are linearly interpolated.  Queries before the
+    first sample or after the last return ``None`` — the node is not active.
+    """
+
+    def __init__(self, points: Sequence[TracePoint], node_id: str = "") -> None:
+        if not points:
+            raise ValueError("a mobility trace needs at least one point")
+        ordered = sorted(points, key=lambda p: p.time)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.time == earlier.time:
+                raise ValueError(f"duplicate trace timestamp {later.time}")
+        self._points: List[TracePoint] = list(ordered)
+        self._times: List[float] = [p.time for p in self._points]
+        self.node_id = node_id
+
+    @classmethod
+    def static(cls, position: Point, start: float = 0.0, end: float = float("inf"),
+               node_id: str = "") -> "MobilityTrace":
+        """A trace for a node that never moves and is active on ``[start, end]``."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        points = [TracePoint(start, position)]
+        if end != float("inf"):
+            points.append(TracePoint(end, position))
+        trace = cls(points, node_id=node_id)
+        trace._static_end = end  # type: ignore[attr-defined]
+        return trace
+
+    @property
+    def points(self) -> List[TracePoint]:
+        """A copy of the underlying samples."""
+        return list(self._points)
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first sample."""
+        return self._times[0]
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last sample (or +inf for open-ended static traces)."""
+        return getattr(self, "_static_end", self._times[-1])
+
+    @property
+    def duration(self) -> float:
+        """Active duration in seconds."""
+        return self.end_time - self.start_time
+
+    def is_active(self, time: float) -> bool:
+        """True when the node is on the road / powered at ``time``."""
+        return self.start_time <= time <= self.end_time
+
+    def position_at(self, time: float) -> Optional[Point]:
+        """Interpolated position at ``time``, or ``None`` when inactive."""
+        if not self.is_active(time):
+            return None
+        if len(self._points) == 1 or time >= self._times[-1]:
+            return self._points[-1].position
+        if time <= self._times[0]:
+            return self._points[0].position
+        index = bisect.bisect_right(self._times, time)
+        before = self._points[index - 1]
+        after = self._points[index]
+        span = after.time - before.time
+        fraction = 0.0 if span == 0 else (time - before.time) / span
+        return before.position.interpolate(after.position, fraction)
+
+    def total_distance(self) -> float:
+        """Path length travelled over the whole trace, in metres."""
+        return sum(
+            earlier.position.distance_to(later.position)
+            for earlier, later in zip(self._points, self._points[1:])
+        )
+
+    def average_speed(self) -> float:
+        """Mean speed over the active span in m/s (0 for static/instantaneous traces)."""
+        span = self._times[-1] - self._times[0]
+        if span <= 0:
+            return 0.0
+        return self.total_distance() / span
+
+
+def merge_active_intervals(traces: Iterable[MobilityTrace]) -> List[tuple]:
+    """Return the ``(start, end)`` active interval of each trace (sorted by start)."""
+    intervals = [(t.start_time, t.end_time) for t in traces]
+    return sorted(intervals)
+
+
+def active_count_at(traces: Sequence[MobilityTrace], time: float) -> int:
+    """Number of traces active at ``time`` (used for the Fig. 7a diurnal profile)."""
+    return sum(1 for trace in traces if trace.is_active(time))

@@ -1,0 +1,25 @@
+"""Network model: nodes, the time-varying graph G(N, L, C(t)) and contacts.
+
+This package implements the system model of Sec. III-A: devices (LoRa
+end-devices on buses) and sinks (gateways) as nodes, device-to-device and
+device-to-sink links whose capacity ``c_{x,y}(t)`` follows positions and the
+RSSI→capacity mapping, and utilities to extract contact intervals from
+mobility traces for analysis and testing.
+"""
+
+from repro.network.contact import ContactInterval, extract_contacts, extract_sink_contacts
+from repro.network.node import DeviceNode, Node, NodeKind, SinkNode
+from repro.network.topology import LinkState, TimeVaryingTopology, TopologyConfig
+
+__all__ = [
+    "ContactInterval",
+    "extract_contacts",
+    "extract_sink_contacts",
+    "DeviceNode",
+    "Node",
+    "NodeKind",
+    "SinkNode",
+    "LinkState",
+    "TimeVaryingTopology",
+    "TopologyConfig",
+]

@@ -1,0 +1,75 @@
+"""Node descriptions: devices (mobile) and sinks (static gateways)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.mobility.geometry import Point
+from repro.mobility.trace import MobilityTrace
+
+
+class NodeKind(Enum):
+    """Whether a node generates data (device) or collects it (sink)."""
+
+    DEVICE = "device"
+    SINK = "sink"
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base identity shared by devices and sinks."""
+
+    node_id: str
+    kind: NodeKind
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be a non-empty string")
+
+
+@dataclass(frozen=True)
+class DeviceNode(Node):
+    """A mobile LoRa end-device following a mobility trace."""
+
+    trace: Optional[MobilityTrace] = None
+
+    def __init__(self, node_id: str, trace: MobilityTrace) -> None:
+        object.__setattr__(self, "node_id", node_id)
+        object.__setattr__(self, "kind", NodeKind.DEVICE)
+        object.__setattr__(self, "trace", trace)
+        if not node_id:
+            raise ValueError("node_id must be a non-empty string")
+        if trace is None:
+            raise ValueError("a DeviceNode requires a mobility trace")
+
+    def position_at(self, time: float) -> Optional[Point]:
+        """Interpolated position at ``time`` or ``None`` when off the road."""
+        return self.trace.position_at(time)
+
+    def is_active(self, time: float) -> bool:
+        """True when the device is powered and mobile at ``time``."""
+        return self.trace.is_active(time)
+
+
+@dataclass(frozen=True)
+class SinkNode(Node):
+    """A static LoRaWAN gateway."""
+
+    position: Point = Point(0.0, 0.0)
+
+    def __init__(self, node_id: str, position: Point) -> None:
+        object.__setattr__(self, "node_id", node_id)
+        object.__setattr__(self, "kind", NodeKind.SINK)
+        object.__setattr__(self, "position", position)
+        if not node_id:
+            raise ValueError("node_id must be a non-empty string")
+
+    def position_at(self, time: float) -> Point:
+        """A sink's position is time-invariant."""
+        return self.position
+
+    def is_active(self, time: float) -> bool:
+        """Gateways are always on."""
+        return True

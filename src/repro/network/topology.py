@@ -1,0 +1,237 @@
+"""The time-varying weighted graph G(N, L, C(t)) of Sec. III-A.
+
+:class:`TimeVaryingTopology` answers, for any simulation time ``t``:
+
+* where every node is (or that it is inactive);
+* the RSSI and capacity of any device-to-device link ``c_{x,y}(t)``;
+* the best-gateway RSSI and the virtual device-to-sink capacity
+  ``c_{x,S}(t)``;
+* which devices are opportunistic neighbours of a given device.
+
+Connectivity combines a hard communication-range cut-off (1 km for
+device-to-gateway at SF7, 0.5 km urban / 1 km rural for device-to-device,
+Sec. VII-A6) with the RSSI→capacity mapping of Eq. (5) inside that range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.geometry import Point
+from repro.network.node import DeviceNode, SinkNode
+from repro.phy.constants import DEFAULT_TX_POWER_DBM, SpreadingFactor
+from repro.phy.link import LinkCapacityModel
+from repro.phy.pathloss import LogDistancePathLoss, PathLossModel
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """A snapshot of one link at one instant."""
+
+    rssi_dbm: float
+    capacity_bps: float
+    distance_m: float
+
+    @property
+    def connected(self) -> bool:
+        """True when the link can carry data right now."""
+        return self.capacity_bps > 0.0
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Radio-geometry parameters of the scenario."""
+
+    gateway_range_m: float = 1000.0
+    device_range_m: float = 500.0
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+    spreading_factor: SpreadingFactor = SpreadingFactor.SF7
+    shadowing_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gateway_range_m <= 0 or self.device_range_m <= 0:
+            raise ValueError("communication ranges must be positive")
+
+
+class TimeVaryingTopology:
+    """Positions, links and neighbourhoods as functions of time."""
+
+    #: Maximum assumed device speed (m/s) used to bound the staleness of the
+    #: cached-position coarse filter in :meth:`neighbours`.
+    MAX_DEVICE_SPEED_MPS = 12.0
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceNode],
+        sinks: Sequence[SinkNode],
+        config: TopologyConfig = TopologyConfig(),
+        path_loss: Optional[PathLossModel] = None,
+        capacity_model: Optional[LinkCapacityModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        position_cache_window_s: float = 15.0,
+    ) -> None:
+        if not sinks:
+            raise ValueError("a topology needs at least one sink")
+        self.devices: Dict[str, DeviceNode] = {d.node_id: d for d in devices}
+        self.sinks: Dict[str, SinkNode] = {s.node_id: s for s in sinks}
+        if len(self.devices) != len(devices):
+            raise ValueError("duplicate device identifiers")
+        if len(self.sinks) != len(sinks):
+            raise ValueError("duplicate sink identifiers")
+        overlap = set(self.devices) & set(self.sinks)
+        if overlap:
+            raise ValueError(f"identifiers used for both devices and sinks: {sorted(overlap)}")
+        self.config = config
+        self.path_loss = path_loss or LogDistancePathLoss()
+        self.capacity_model = capacity_model or LinkCapacityModel.for_spreading_factor(
+            config.spreading_factor
+        )
+        self._rng = rng
+        if position_cache_window_s < 0:
+            raise ValueError("position_cache_window_s must be non-negative")
+        self._cache_window = position_cache_window_s
+        self._cache_bucket: Optional[int] = None
+        self._cached_positions: Dict[str, Optional[Point]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Positions
+    # ------------------------------------------------------------------ #
+    def device_position(self, device_id: str, time: float) -> Optional[Point]:
+        """Position of ``device_id`` at ``time`` or ``None`` when inactive/unknown."""
+        device = self.devices.get(device_id)
+        if device is None:
+            raise KeyError(f"unknown device {device_id!r}")
+        return device.position_at(time)
+
+    def sink_position(self, sink_id: str) -> Point:
+        """Position of the gateway ``sink_id``."""
+        sink = self.sinks.get(sink_id)
+        if sink is None:
+            raise KeyError(f"unknown sink {sink_id!r}")
+        return sink.position
+
+    def active_devices(self, time: float) -> List[str]:
+        """Identifiers of devices that are on the road at ``time``."""
+        return [d.node_id for d in self.devices.values() if d.is_active(time)]
+
+    # ------------------------------------------------------------------ #
+    # Links
+    # ------------------------------------------------------------------ #
+    def _link_state(self, a: Point, b: Point, range_m: float) -> LinkState:
+        distance = a.distance_to(b)
+        if distance > range_m:
+            return LinkState(rssi_dbm=float("-inf"), capacity_bps=0.0, distance_m=distance)
+        rng = self._rng if self.config.shadowing_enabled else None
+        rssi = self.path_loss.received_power_dbm(self.config.tx_power_dbm, distance, rng)
+        capacity = self.capacity_model.capacity_bps(rssi)
+        return LinkState(rssi_dbm=rssi, capacity_bps=capacity, distance_m=distance)
+
+    def device_link(self, x: str, y: str, time: float) -> LinkState:
+        """State of the device-to-device link (x, y) at ``time``."""
+        pos_x = self.device_position(x, time)
+        pos_y = self.device_position(y, time)
+        if pos_x is None or pos_y is None:
+            return LinkState(float("-inf"), 0.0, float("inf"))
+        return self._link_state(pos_x, pos_y, self.config.device_range_m)
+
+    def best_gateway(self, device_id: str, time: float) -> Tuple[Optional[str], LinkState]:
+        """The closest in-range gateway for ``device_id`` and the link to it.
+
+        Returns ``(None, disconnected LinkState)`` when no gateway is within
+        range or the device is inactive.
+        """
+        position = self.device_position(device_id, time)
+        disconnected = LinkState(float("-inf"), 0.0, float("inf"))
+        if position is None:
+            return None, disconnected
+        best_id: Optional[str] = None
+        best_state = disconnected
+        for sink in self.sinks.values():
+            state = self._link_state(position, sink.position, self.config.gateway_range_m)
+            if state.connected and (best_id is None or state.rssi_dbm > best_state.rssi_dbm):
+                best_id = sink.node_id
+                best_state = state
+        return best_id, best_state
+
+    def sink_capacity(self, device_id: str, time: float) -> float:
+        """The virtual link capacity ``c_{x,S}(t)`` (best gateway, 0 when disconnected)."""
+        _, state = self.best_gateway(device_id, time)
+        return state.capacity_bps
+
+    def gateways_in_range(self, device_id: str, time: float) -> List[Tuple[str, LinkState]]:
+        """All gateways currently within range of ``device_id`` with their link states."""
+        position = self.device_position(device_id, time)
+        if position is None:
+            return []
+        result: List[Tuple[str, LinkState]] = []
+        for sink in self.sinks.values():
+            state = self._link_state(position, sink.position, self.config.gateway_range_m)
+            if state.connected:
+                result.append((sink.node_id, state))
+        return result
+
+    def _coarse_positions(self, time: float) -> Dict[str, Optional[Point]]:
+        """Per-device positions sampled at the start of the current cache window.
+
+        Used only as a coarse candidate filter; exact positions are always
+        recomputed for the candidates that survive the filter, so the cache
+        never changes connectivity decisions, it only avoids interpolating the
+        whole fleet on every query.
+        """
+        if self._cache_window <= 0:
+            return {d.node_id: d.position_at(time) for d in self.devices.values()}
+        bucket = int(time // self._cache_window)
+        if bucket != self._cache_bucket:
+            bucket_time = bucket * self._cache_window
+            self._cached_positions = {
+                d.node_id: d.position_at(bucket_time) for d in self.devices.values()
+            }
+            self._cache_bucket = bucket
+        return self._cached_positions
+
+    def neighbours(self, device_id: str, time: float) -> List[Tuple[str, LinkState]]:
+        """Opportunistic neighbours D_x(t): active devices with a live link to ``device_id``."""
+        position = self.device_position(device_id, time)
+        if position is None:
+            return []
+        coarse = self._coarse_positions(time)
+        margin = 2.0 * self.MAX_DEVICE_SPEED_MPS * self._cache_window
+        coarse_range = self.config.device_range_m + margin
+        result: List[Tuple[str, LinkState]] = []
+        for other in self.devices.values():
+            if other.node_id == device_id:
+                continue
+            coarse_position = coarse.get(other.node_id)
+            if coarse_position is not None:
+                if abs(coarse_position.x - position.x) > coarse_range:
+                    continue
+                if abs(coarse_position.y - position.y) > coarse_range:
+                    continue
+            elif self._cache_window > 0 and not other.is_active(time):
+                continue
+            other_position = other.position_at(time)
+            if other_position is None:
+                continue
+            state = self._link_state(position, other_position, self.config.device_range_m)
+            if state.connected:
+                result.append((other.node_id, state))
+        return result
+
+    def in_contact(self, x: str, y: str, time: float) -> bool:
+        """True when devices ``x`` and ``y`` can communicate at ``time``."""
+        return self.device_link(x, y, time).connected
+
+    def connectivity_matrix(self, time: float) -> Dict[str, Dict[str, float]]:
+        """The capacity matrix C(t) restricted to device-to-device links (sparse dict form)."""
+        matrix: Dict[str, Dict[str, float]] = {}
+        ids = self.active_devices(time)
+        for i, x in enumerate(ids):
+            for y in ids[i + 1:]:
+                state = self.device_link(x, y, time)
+                if state.connected:
+                    matrix.setdefault(x, {})[y] = state.capacity_bps
+                    matrix.setdefault(y, {})[x] = state.capacity_bps
+        return matrix

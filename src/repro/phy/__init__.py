@@ -1,0 +1,41 @@
+"""LoRa physical-layer models.
+
+This package reproduces the radio substrate the paper's evaluation relies on
+(OMNeT++/FLoRa in the original): Semtech LoRa time-on-air, a log-distance
+path-loss model with log-normal shadowing (exponent 2.32, Sec. VII-A5),
+receiver sensitivity per spreading factor, the RSSI→capacity mapping of
+Eq. (5), a same-SF collision/capture model and a radio energy model used by
+the Queue-based Class-A ablation.
+"""
+
+from repro.phy.airtime import AirtimeCalculator, LoRaTransmissionParameters
+from repro.phy.collision import CollisionModel, Transmission
+from repro.phy.constants import (
+    EU868_DUTY_CYCLE,
+    SENSITIVITY_DBM,
+    SNR_THRESHOLD_DB,
+    SpreadingFactor,
+    bitrate_bps,
+)
+from repro.phy.energy import EnergyModel, RadioState
+from repro.phy.link import LinkCapacityModel, LinkQualityEstimator
+from repro.phy.pathloss import FreeSpacePathLoss, LogDistancePathLoss, PathLossModel
+
+__all__ = [
+    "AirtimeCalculator",
+    "LoRaTransmissionParameters",
+    "CollisionModel",
+    "Transmission",
+    "EU868_DUTY_CYCLE",
+    "SENSITIVITY_DBM",
+    "SNR_THRESHOLD_DB",
+    "SpreadingFactor",
+    "bitrate_bps",
+    "EnergyModel",
+    "RadioState",
+    "LinkCapacityModel",
+    "LinkQualityEstimator",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "PathLossModel",
+]

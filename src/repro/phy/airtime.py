@@ -1,0 +1,92 @@
+"""LoRa time-on-air computation (Semtech AN1200.13 formula).
+
+Airtime drives everything in a duty-cycle-limited network: how long a frame
+occupies the channel (collisions), how long the transmitter must then stay
+silent (duty-cycle wait), and therefore the effective link capacity used by
+the RCA-ETX metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.phy.constants import (
+    DEFAULT_BANDWIDTH_HZ,
+    DEFAULT_CODING_RATE,
+    DEFAULT_PREAMBLE_SYMBOLS,
+    MAX_PHY_PAYLOAD_BYTES,
+    SpreadingFactor,
+)
+
+
+@dataclass(frozen=True)
+class LoRaTransmissionParameters:
+    """The radio settings that determine a frame's time on air."""
+
+    spreading_factor: SpreadingFactor = SpreadingFactor.SF7
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ
+    coding_rate: int = DEFAULT_CODING_RATE
+    preamble_symbols: int = DEFAULT_PREAMBLE_SYMBOLS
+    explicit_header: bool = True
+    low_data_rate_optimize: bool = False
+    crc_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.coding_rate not in (1, 2, 3, 4):
+            raise ValueError(f"coding_rate must be in 1..4, got {self.coding_rate}")
+        if self.bandwidth_hz <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_hz}")
+        if self.preamble_symbols < 0:
+            raise ValueError("preamble_symbols must be non-negative")
+
+
+class AirtimeCalculator:
+    """Computes LoRa symbol time and frame time-on-air."""
+
+    def __init__(self, parameters: LoRaTransmissionParameters = LoRaTransmissionParameters()):
+        self.parameters = parameters
+
+    @property
+    def symbol_time_s(self) -> float:
+        """Duration of one LoRa symbol in seconds: ``2^SF / BW``."""
+        sf = int(self.parameters.spreading_factor)
+        return (2 ** sf) / self.parameters.bandwidth_hz
+
+    def payload_symbols(self, payload_bytes: int) -> int:
+        """Number of payload symbols for a PHY payload of ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be non-negative, got {payload_bytes}")
+        if payload_bytes > MAX_PHY_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload_bytes {payload_bytes} exceeds LoRa maximum {MAX_PHY_PAYLOAD_BYTES}"
+            )
+        p = self.parameters
+        sf = int(p.spreading_factor)
+        de = 1 if p.low_data_rate_optimize else 0
+        ih = 0 if p.explicit_header else 1
+        crc = 1 if p.crc_enabled else 0
+        numerator = 8 * payload_bytes - 4 * sf + 28 + 16 * crc - 20 * ih
+        denominator = 4 * (sf - 2 * de)
+        symbols = math.ceil(max(numerator, 0) / denominator) * (p.coding_rate + 4)
+        return 8 + max(symbols, 0)
+
+    def preamble_time_s(self) -> float:
+        """Preamble duration: ``(n_preamble + 4.25) * T_symbol``."""
+        return (self.parameters.preamble_symbols + 4.25) * self.symbol_time_s
+
+    def time_on_air_s(self, payload_bytes: int) -> float:
+        """Total frame duration (preamble + payload) in seconds."""
+        return self.preamble_time_s() + self.payload_symbols(payload_bytes) * self.symbol_time_s
+
+    def duty_cycle_wait_s(self, payload_bytes: int, duty_cycle: float) -> float:
+        """Minimum silent period after sending a frame under ``duty_cycle``.
+
+        A transmitter that just used ``T`` seconds of airtime must wait
+        ``T * (1/duty_cycle - 1)`` before transmitting again, which is the
+        "duty-cycle timer of 1 % time-on-air" retransmission rule of
+        Sec. VII-A5.
+        """
+        if not 0 < duty_cycle <= 1:
+            raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        return self.time_on_air_s(payload_bytes) * (1.0 / duty_cycle - 1.0)

@@ -1,0 +1,108 @@
+"""Same-channel collision and capture model.
+
+LoRa frames on the same channel and spreading factor interfere when their
+airtime overlaps.  Following FLoRa / Bor et al., a frame survives a collision
+only if it is stronger than every overlapping interferer by at least the
+capture threshold (6 dB by default).  Frames on different spreading factors
+are treated as orthogonal (the quasi-orthogonality approximation; adequate
+here because the evaluation uses a single SF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.phy.constants import CAPTURE_THRESHOLD_DB, SpreadingFactor
+
+
+@dataclass
+class Transmission:
+    """One frame on the air.
+
+    ``rssi_by_receiver`` maps receiver identifiers to the power at which this
+    frame arrives at that receiver; the collision check is therefore performed
+    per receiver, as it is in reality (a frame may collide at one gateway and
+    be captured at another).
+    """
+
+    sender: str
+    start_time: float
+    duration: float
+    channel: int = 0
+    spreading_factor: SpreadingFactor = SpreadingFactor.SF7
+    rssi_by_receiver: Dict[str, float] = field(default_factory=dict)
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.start_time < 0:
+            raise ValueError(f"start_time must be non-negative, got {self.start_time}")
+
+    @property
+    def end_time(self) -> float:
+        """Time at which the frame stops occupying the channel."""
+        return self.start_time + self.duration
+
+    def overlaps(self, other: "Transmission") -> bool:
+        """True when the two frames overlap in time on the same channel and SF."""
+        if self.channel != other.channel:
+            return False
+        if self.spreading_factor != other.spreading_factor:
+            return False
+        return self.start_time < other.end_time and other.start_time < self.end_time
+
+
+class CollisionModel:
+    """Registers in-flight transmissions and resolves per-receiver capture."""
+
+    def __init__(self, capture_threshold_db: float = CAPTURE_THRESHOLD_DB) -> None:
+        if capture_threshold_db < 0:
+            raise ValueError("capture threshold must be non-negative")
+        self.capture_threshold_db = capture_threshold_db
+        self._active: List[Transmission] = []
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    @property
+    def active_transmissions(self) -> List[Transmission]:
+        """A copy of the transmissions currently registered."""
+        return list(self._active)
+
+    def add(self, transmission: Transmission) -> None:
+        """Register a new frame on the air."""
+        self._active.append(transmission)
+
+    def expire(self, now: float) -> None:
+        """Drop transmissions that ended strictly before ``now``."""
+        self._active = [t for t in self._active if t.end_time > now]
+
+    def interferers(self, transmission: Transmission) -> List[Transmission]:
+        """All registered frames that overlap ``transmission`` (excluding itself)."""
+        return [t for t in self._active if t is not transmission and t.overlaps(transmission)]
+
+    def is_received(self, transmission: Transmission, receiver: str) -> bool:
+        """Decide whether ``receiver`` decodes ``transmission`` despite interference.
+
+        The frame is decoded when the receiver hears it (it has an RSSI entry)
+        and the frame beats every overlapping interferer heard by the same
+        receiver by at least the capture threshold.
+        """
+        rssi = transmission.rssi_by_receiver.get(receiver)
+        if rssi is None or rssi == float("-inf"):
+            return False
+        for other in self.interferers(transmission):
+            other_rssi = other.rssi_by_receiver.get(receiver)
+            if other_rssi is None or other_rssi == float("-inf"):
+                continue
+            if rssi - other_rssi < self.capture_threshold_db:
+                return False
+        return True
+
+    def survivors(self, receiver: str, now: Optional[float] = None) -> List[Transmission]:
+        """Transmissions decodable at ``receiver`` among those currently registered."""
+        if now is not None:
+            self.expire(now)
+        return [t for t in self._active if self.is_received(t, receiver)]

@@ -1,0 +1,99 @@
+"""LoRa / LoRaWAN physical-layer constants.
+
+Values follow the LoRaWAN 1.0.3 regional parameters for EU868 and the SX1276
+datasheet, the same sources used by FLoRa.  Only the subset needed by the
+evaluation is included, but the tables cover all spreading factors so that the
+simulator is usable beyond the paper's fixed-SF7 setting.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict
+
+
+class SpreadingFactor(IntEnum):
+    """LoRa spreading factors SF7–SF12."""
+
+    SF7 = 7
+    SF8 = 8
+    SF9 = 9
+    SF10 = 10
+    SF11 = 11
+    SF12 = 12
+
+
+#: Default EU868 general-channel duty cycle (1 %), Sec. III-B of the paper.
+EU868_DUTY_CYCLE = 0.01
+
+#: Default LoRaWAN bandwidth in Hz used throughout the evaluation.
+DEFAULT_BANDWIDTH_HZ = 125_000
+
+#: Default coding rate expressed as 4/(4+CR); CR=1 means 4/5.
+DEFAULT_CODING_RATE = 1
+
+#: Default transmit power in dBm (EU868 ERP limit is +14 dBm).
+DEFAULT_TX_POWER_DBM = 14.0
+
+#: Default preamble length in symbols.
+DEFAULT_PREAMBLE_SYMBOLS = 8
+
+#: Maximum LoRa PHY payload in bytes (SF7, as cited in Sec. VII-A5).
+MAX_PHY_PAYLOAD_BYTES = 255
+
+#: Receiver sensitivity (dBm) per spreading factor at 125 kHz (SX1276 datasheet).
+SENSITIVITY_DBM: Dict[SpreadingFactor, float] = {
+    SpreadingFactor.SF7: -123.0,
+    SpreadingFactor.SF8: -126.0,
+    SpreadingFactor.SF9: -129.0,
+    SpreadingFactor.SF10: -132.0,
+    SpreadingFactor.SF11: -134.5,
+    SpreadingFactor.SF12: -137.0,
+}
+
+#: Demodulation SNR threshold (dB) per spreading factor.
+SNR_THRESHOLD_DB: Dict[SpreadingFactor, float] = {
+    SpreadingFactor.SF7: -7.5,
+    SpreadingFactor.SF8: -10.0,
+    SpreadingFactor.SF9: -12.5,
+    SpreadingFactor.SF10: -15.0,
+    SpreadingFactor.SF11: -17.5,
+    SpreadingFactor.SF12: -20.0,
+}
+
+#: Co-channel capture threshold (dB): the stronger frame survives a collision
+#: if it exceeds the interferer by at least this margin (FLoRa / Bor et al.).
+CAPTURE_THRESHOLD_DB = 6.0
+
+#: Thermal noise floor for 125 kHz bandwidth at a 6 dB noise figure, in dBm.
+NOISE_FLOOR_DBM = -174.0 + 10.0 * 5.0969100130080565 + 6.0  # -117.03 dBm approx.
+
+
+def bitrate_bps(
+    spreading_factor: SpreadingFactor,
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ,
+    coding_rate: int = DEFAULT_CODING_RATE,
+) -> float:
+    """Raw LoRa bit rate ``SF * BW / 2^SF * 4/(4+CR)`` in bits per second.
+
+    For SF12/125 kHz this evaluates to ~293 bit/s raw; after the 1 % duty
+    cycle it matches the "2.5 bit/s effective" figure quoted in Sec. III-B.
+    """
+    if coding_rate not in (1, 2, 3, 4):
+        raise ValueError(f"coding_rate must be in 1..4, got {coding_rate}")
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    sf = int(spreading_factor)
+    return sf * (bandwidth_hz / (2 ** sf)) * (4.0 / (4.0 + coding_rate))
+
+
+def effective_bitrate_bps(
+    spreading_factor: SpreadingFactor,
+    duty_cycle: float = EU868_DUTY_CYCLE,
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ,
+    coding_rate: int = DEFAULT_CODING_RATE,
+) -> float:
+    """Duty-cycle limited bit rate (raw bitrate times the duty cycle)."""
+    if not 0 < duty_cycle <= 1:
+        raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
+    return bitrate_bps(spreading_factor, bandwidth_hz, coding_rate) * duty_cycle

@@ -1,0 +1,113 @@
+"""Link-capacity and link-quality models.
+
+Two pieces live here:
+
+* :class:`LinkCapacityModel` — the RSSI→capacity mapping of Eq. (5): capacity
+  scales linearly between an RSSI floor (capacity 0) and ceiling (maximum
+  capacity), the same construction the paper borrows from the Contiki link
+  stack.
+* :class:`LinkQualityEstimator` — a simple packet-success estimator derived
+  from received power versus sensitivity, used by the device-to-gateway
+  channel to decide whether an uplink is decodable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.constants import (
+    SENSITIVITY_DBM,
+    SpreadingFactor,
+    bitrate_bps,
+    EU868_DUTY_CYCLE,
+)
+
+
+@dataclass(frozen=True)
+class LinkCapacityModel:
+    """Linear RSSI→capacity mapping (paper Eq. 5).
+
+    ``capacity = c_max * (rssi - rssi_min) / (rssi_max - rssi_min)`` clamped to
+    ``[0, c_max]``; below ``rssi_min`` the capacity is exactly zero, above
+    ``rssi_max`` it is exactly ``c_max``.
+    """
+
+    max_capacity_bps: float
+    rssi_min_dbm: float = -123.0
+    rssi_max_dbm: float = -80.0
+
+    def __post_init__(self) -> None:
+        if self.max_capacity_bps <= 0:
+            raise ValueError(f"max_capacity_bps must be positive, got {self.max_capacity_bps}")
+        if self.rssi_max_dbm <= self.rssi_min_dbm:
+            raise ValueError("rssi_max_dbm must exceed rssi_min_dbm")
+
+    @classmethod
+    def for_spreading_factor(
+        cls,
+        spreading_factor: SpreadingFactor = SpreadingFactor.SF7,
+        duty_cycle: float = EU868_DUTY_CYCLE,
+        rssi_max_dbm: float = -80.0,
+    ) -> "LinkCapacityModel":
+        """Build a model whose ceiling is the duty-cycle-limited bitrate of ``spreading_factor``."""
+        max_capacity = bitrate_bps(spreading_factor) * duty_cycle
+        return cls(
+            max_capacity_bps=max_capacity,
+            rssi_min_dbm=SENSITIVITY_DBM[spreading_factor],
+            rssi_max_dbm=rssi_max_dbm,
+        )
+
+    def capacity_bps(self, rssi_dbm: float) -> float:
+        """Capacity in bits per second for a received signal strength of ``rssi_dbm``."""
+        if rssi_dbm < self.rssi_min_dbm:
+            return 0.0
+        if rssi_dbm > self.rssi_max_dbm:
+            return self.max_capacity_bps
+        fraction = (rssi_dbm - self.rssi_min_dbm) / (self.rssi_max_dbm - self.rssi_min_dbm)
+        return self.max_capacity_bps * fraction
+
+    def is_connected(self, rssi_dbm: float) -> bool:
+        """True when the link has strictly positive capacity."""
+        return self.capacity_bps(rssi_dbm) > 0.0
+
+
+@dataclass(frozen=True)
+class LinkQualityEstimator:
+    """Packet-success model based on the margin above receiver sensitivity.
+
+    The success probability ramps linearly from 0 at the sensitivity threshold
+    to 1 at ``sensitivity + margin_db``.  This coarse model captures the
+    "unreliable near the edge of coverage" behaviour that motivates the paper
+    without simulating symbol-level BER.
+    """
+
+    spreading_factor: SpreadingFactor = SpreadingFactor.SF7
+    margin_db: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.margin_db <= 0:
+            raise ValueError(f"margin_db must be positive, got {self.margin_db}")
+
+    @property
+    def sensitivity_dbm(self) -> float:
+        """Receiver sensitivity for the configured spreading factor."""
+        return SENSITIVITY_DBM[self.spreading_factor]
+
+    def success_probability(self, rssi_dbm: float) -> float:
+        """Probability a frame at ``rssi_dbm`` is decoded (ignoring collisions)."""
+        margin = rssi_dbm - self.sensitivity_dbm
+        if margin <= 0:
+            return 0.0
+        if margin >= self.margin_db:
+            return 1.0
+        return margin / self.margin_db
+
+    def frame_received(self, rssi_dbm: float, rng: Optional[np.random.Generator]) -> bool:
+        """Bernoulli draw of frame reception; deterministic threshold if no RNG is given."""
+        probability = self.success_probability(rssi_dbm)
+        if rng is None:
+            return probability >= 0.5
+        return bool(rng.random() < probability)

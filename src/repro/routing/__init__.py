@@ -1,0 +1,52 @@
+"""Forwarding schemes.
+
+Each scheme is a strategy object the simulation engine consults whenever a
+device overhears another device's uplink: "should I hand over part of my
+queue to the transmitter, and how much?".  The three schemes evaluated in the
+paper are NoRouting (plain LoRaWAN with an application-layer queue), the
+greedy RCA-ETX scheme of Sec. IV and ROBC of Sec. V.  Two classic DTN
+baselines — epidemic routing and binary spray-and-wait — are included as
+extensions for comparison studies.
+"""
+
+from repro.routing.base import ForwardingDecision, ForwardingScheme
+from repro.routing.epidemic import EpidemicScheme
+from repro.routing.no_routing import NoRoutingScheme
+from repro.routing.rca_etx_scheme import RCAETXScheme
+from repro.routing.robc_scheme import ROBCScheme
+from repro.routing.spray_and_wait import SprayAndWaitScheme
+
+SCHEME_REGISTRY = {
+    scheme_class.name: scheme_class
+    for scheme_class in (
+        NoRoutingScheme,
+        RCAETXScheme,
+        ROBCScheme,
+        EpidemicScheme,
+        SprayAndWaitScheme,
+    )
+}
+
+
+def make_scheme(name: str, **kwargs) -> ForwardingScheme:
+    """Instantiate a forwarding scheme by its registry name."""
+    try:
+        scheme_class = SCHEME_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; available: {sorted(SCHEME_REGISTRY)}"
+        ) from None
+    return scheme_class(**kwargs)
+
+
+__all__ = [
+    "ForwardingDecision",
+    "ForwardingScheme",
+    "EpidemicScheme",
+    "NoRoutingScheme",
+    "RCAETXScheme",
+    "ROBCScheme",
+    "SprayAndWaitScheme",
+    "SCHEME_REGISTRY",
+    "make_scheme",
+]

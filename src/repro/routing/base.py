@@ -1,0 +1,70 @@
+"""The forwarding-scheme interface.
+
+A scheme sees exactly what a real device would see: its own MAC state (queue,
+RCA-ETX estimator) and the overheard packet with whatever metric fields the
+transmitter piggybacked.  It returns a :class:`ForwardingDecision`, and the
+simulation engine is responsible for checking whether the handover is
+physically possible (duty cycle, link still up) and for moving the messages.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.mac.device import EndDevice
+from repro.mac.frames import UplinkPacket
+from repro.phy.link import LinkCapacityModel
+
+
+@dataclass(frozen=True)
+class ForwardingDecision:
+    """What a scheme wants to do after overhearing a neighbour's uplink.
+
+    ``message_limit`` is the maximum number of messages to hand over;
+    ``copy`` requests replication (the sender keeps its copies) instead of a
+    move, which only the DTN baselines use.
+    """
+
+    forward: bool
+    message_limit: int = 0
+    copy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.forward and self.message_limit <= 0:
+            raise ValueError("a positive message_limit is required when forwarding")
+        if self.message_limit < 0:
+            raise ValueError("message_limit must be non-negative")
+
+    @staticmethod
+    def no() -> "ForwardingDecision":
+        """The 'keep everything' decision."""
+        return ForwardingDecision(forward=False, message_limit=0)
+
+
+class ForwardingScheme(ABC):
+    """Strategy consulted by the engine on every overheard uplink."""
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+
+    #: Whether devices should piggyback their queue length on uplinks.
+    requires_queue_length: bool = False
+
+    #: Whether the scheme uses device-to-device forwarding at all (NoRouting
+    #: disables overhearing work entirely, saving simulation time).
+    uses_forwarding: bool = True
+
+    @abstractmethod
+    def on_overhear(
+        self,
+        receiver: EndDevice,
+        packet: UplinkPacket,
+        link_rssi_dbm: float,
+        capacity_model: LinkCapacityModel,
+        now: float,
+    ) -> ForwardingDecision:
+        """Decide whether ``receiver`` should hand data to the packet's sender."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

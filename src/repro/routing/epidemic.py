@@ -1,0 +1,41 @@
+"""Epidemic routing (Vahdat & Becker), a classic DTN baseline.
+
+Every overhearing opportunity is used to *replicate* queued messages onto the
+transmitter, regardless of metrics.  Delivery delay is near-optimal but the
+message overhead is unbounded, which is precisely the cost RCA-ETX/ROBC try to
+avoid; the scheme is included as an extension so users can quantify that
+trade-off in the same harness.
+"""
+
+from __future__ import annotations
+
+from repro.mac.device import EndDevice
+from repro.mac.frames import UplinkPacket
+from repro.phy.link import LinkCapacityModel
+from repro.routing.base import ForwardingDecision, ForwardingScheme
+
+
+class EpidemicScheme(ForwardingScheme):
+    """Replicate everything to everyone heard."""
+
+    name = "epidemic"
+    requires_queue_length = False
+    uses_forwarding = True
+
+    def __init__(self, max_handover_messages: int = 12) -> None:
+        if max_handover_messages <= 0:
+            raise ValueError("max_handover_messages must be positive")
+        self.max_handover_messages = max_handover_messages
+
+    def on_overhear(
+        self,
+        receiver: EndDevice,
+        packet: UplinkPacket,
+        link_rssi_dbm: float,
+        capacity_model: LinkCapacityModel,
+        now: float,
+    ) -> ForwardingDecision:
+        if not receiver.has_data():
+            return ForwardingDecision.no()
+        limit = min(self.max_handover_messages, receiver.queue_length())
+        return ForwardingDecision(forward=True, message_limit=limit, copy=True)

@@ -1,0 +1,50 @@
+"""The greedy RCA-ETX forwarding scheme (Sec. IV).
+
+When device ``x`` overhears device ``y``'s uplink carrying ``RCA-ETX_{y,S}``,
+it computes the link metric from the frame's RSSI (Eqs. 5–6) and applies the
+handover rule of Eq. (1): forward its queued data to ``y`` whenever routing
+through ``y`` is expected to be strictly cheaper than waiting for its own
+gateway contact.
+"""
+
+from __future__ import annotations
+
+from repro.mac.device import EndDevice
+from repro.mac.frames import UplinkPacket
+from repro.phy.link import LinkCapacityModel
+from repro.routing.base import ForwardingDecision, ForwardingScheme
+
+
+class RCAETXScheme(ForwardingScheme):
+    """Greedy minimum-expected-delay handover using RCA-ETX."""
+
+    name = "rca-etx"
+    requires_queue_length = False
+    uses_forwarding = True
+
+    def __init__(self, max_handover_messages: int = 12) -> None:
+        if max_handover_messages <= 0:
+            raise ValueError("max_handover_messages must be positive")
+        self.max_handover_messages = max_handover_messages
+
+    def on_overhear(
+        self,
+        receiver: EndDevice,
+        packet: UplinkPacket,
+        link_rssi_dbm: float,
+        capacity_model: LinkCapacityModel,
+        now: float,
+    ) -> ForwardingDecision:
+        if packet.rca_etx_s is None:
+            return ForwardingDecision.no()
+        if not receiver.has_data():
+            return ForwardingDecision.no()
+        forward = receiver.rca_etx.should_forward_to(
+            neighbour_sink_metric=packet.rca_etx_s,
+            rssi_dbm=link_rssi_dbm,
+            capacity_model=capacity_model,
+        )
+        if not forward:
+            return ForwardingDecision.no()
+        limit = min(self.max_handover_messages, receiver.queue_length())
+        return ForwardingDecision(forward=True, message_limit=limit)

@@ -1,0 +1,68 @@
+"""ROBC: Real-time Opportunistic Backpressure Collection (Sec. V).
+
+On overhearing ``y``'s uplink (which carries both ``RCA-ETX_{y,S}`` and
+``Q_y``), device ``x`` computes the backpressure weight
+``ω = Q_x/ϕ_x − Q_y/ϕ_y`` and, if positive, hands over
+``δ = Q_x − Q_y · ϕ_x/ϕ_y`` messages.  The scheme additionally requires the
+device-to-device link to be usable (non-zero capacity from the overheard
+RSSI), which in practice is guaranteed by the fact the frame was overheard at
+all but is kept explicit for unit-level robustness.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.rgq import RealTimeGatewayQuality
+from repro.core.robc import robc_transfer_amount
+from repro.mac.device import EndDevice
+from repro.mac.frames import UplinkPacket
+from repro.phy.link import LinkCapacityModel
+from repro.routing.base import ForwardingDecision, ForwardingScheme
+
+
+class ROBCScheme(ForwardingScheme):
+    """Queue-differential (backpressure) forwarding with ϕ-corrected backlogs."""
+
+    name = "robc"
+    requires_queue_length = True
+    uses_forwarding = True
+
+    def __init__(
+        self,
+        rgq: RealTimeGatewayQuality = RealTimeGatewayQuality(),
+        max_handover_messages: int = 12,
+    ) -> None:
+        if max_handover_messages <= 0:
+            raise ValueError("max_handover_messages must be positive")
+        self.rgq = rgq
+        self.max_handover_messages = max_handover_messages
+
+    def on_overhear(
+        self,
+        receiver: EndDevice,
+        packet: UplinkPacket,
+        link_rssi_dbm: float,
+        capacity_model: LinkCapacityModel,
+        now: float,
+    ) -> ForwardingDecision:
+        if packet.rca_etx_s is None or packet.queue_length is None:
+            return ForwardingDecision.no()
+        if not receiver.has_data():
+            return ForwardingDecision.no()
+        if not capacity_model.is_connected(link_rssi_dbm):
+            return ForwardingDecision.no()
+        delta = robc_transfer_amount(
+            own_queue=float(receiver.queue_length()),
+            own_sink_metric_s=receiver.rca_etx.sink_metric(),
+            neighbour_queue=float(packet.queue_length),
+            neighbour_sink_metric_s=packet.rca_etx_s,
+            rgq=self.rgq,
+        )
+        messages = int(math.floor(delta))
+        if messages <= 0:
+            return ForwardingDecision.no()
+        limit = min(messages, self.max_handover_messages, receiver.queue_length())
+        if limit <= 0:
+            return ForwardingDecision.no()
+        return ForwardingDecision(forward=True, message_limit=limit)

@@ -1,0 +1,84 @@
+"""Binary Spray-and-Wait (Spyropoulos et al.), a bounded-replication DTN baseline.
+
+Each message starts with ``initial_copies`` logical copy tickets.  During the
+*spray* phase a carrier with more than one ticket hands half of them to any
+device it overhears; once a carrier is down to a single ticket it enters the
+*wait* phase and only delivers directly to a gateway.  Replication overhead is
+therefore bounded by ``initial_copies`` per message.
+
+Ticket bookkeeping rides on :class:`~repro.mac.frames.DataMessage` via an
+attribute set lazily by this scheme, so the core frame format stays free of
+baseline-specific fields.
+"""
+
+from __future__ import annotations
+
+from repro.mac.device import EndDevice
+from repro.mac.frames import DataMessage, UplinkPacket
+from repro.phy.link import LinkCapacityModel
+from repro.routing.base import ForwardingDecision, ForwardingScheme
+
+_TICKET_ATTRIBUTE = "spray_tickets"
+
+
+def get_tickets(message: DataMessage, initial_copies: int) -> int:
+    """Current spray tickets of ``message`` (initialised lazily)."""
+    tickets = getattr(message, _TICKET_ATTRIBUTE, None)
+    if tickets is None:
+        tickets = initial_copies
+        setattr(message, _TICKET_ATTRIBUTE, tickets)
+    return tickets
+
+
+def set_tickets(message: DataMessage, tickets: int) -> None:
+    """Set the remaining spray tickets of ``message``."""
+    if tickets < 1:
+        raise ValueError("a carried message always retains at least one ticket")
+    setattr(message, _TICKET_ATTRIBUTE, tickets)
+
+
+class SprayAndWaitScheme(ForwardingScheme):
+    """Binary spray-and-wait with per-message ticket halving."""
+
+    name = "spray-and-wait"
+    requires_queue_length = False
+    uses_forwarding = True
+
+    def __init__(self, initial_copies: int = 4, max_handover_messages: int = 12) -> None:
+        if initial_copies < 1:
+            raise ValueError("initial_copies must be at least 1")
+        if max_handover_messages <= 0:
+            raise ValueError("max_handover_messages must be positive")
+        self.initial_copies = initial_copies
+        self.max_handover_messages = max_handover_messages
+
+    def sprayable_messages(self, receiver: EndDevice) -> int:
+        """How many queued messages still hold more than one ticket."""
+        return sum(
+            1
+            for message in receiver.queue.peek_all()
+            if get_tickets(message, self.initial_copies) > 1
+        )
+
+    def split_tickets(self, message: DataMessage) -> int:
+        """Halve the tickets of ``message``; returns the tickets given to the copy."""
+        tickets = get_tickets(message, self.initial_copies)
+        if tickets <= 1:
+            return 0
+        given = tickets // 2
+        set_tickets(message, tickets - given)
+        return given
+
+    def on_overhear(
+        self,
+        receiver: EndDevice,
+        packet: UplinkPacket,
+        link_rssi_dbm: float,
+        capacity_model: LinkCapacityModel,
+        now: float,
+    ) -> ForwardingDecision:
+        sprayable = self.sprayable_messages(receiver)
+        if sprayable <= 0:
+            return ForwardingDecision.no()
+        limit = min(sprayable, self.max_handover_messages)
+        return ForwardingDecision(forward=True, message_limit=limit, copy=True)

@@ -1,0 +1,127 @@
+"""Event primitives and the time-ordered event queue.
+
+The simulator schedules :class:`Event` objects on an :class:`EventQueue`, a
+binary heap keyed by ``(time, priority, sequence)``.  The sequence number makes
+ordering total and deterministic: two events scheduled for the same time and
+priority always fire in the order they were scheduled, regardless of the
+callback identity.  Determinism here is what makes whole-network simulations
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventCancelled(Exception):
+    """Raised when interacting with an event that has been cancelled."""
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time at which the event fires.
+    callback:
+        Callable invoked with ``payload`` when the event fires.  ``None`` is
+        allowed for pure synchronisation events.
+    payload:
+        Arbitrary object handed to the callback.
+    priority:
+        Secondary ordering key; lower priorities fire first at equal times.
+    """
+
+    time: float
+    callback: Optional[Callable[[Any], None]] = None
+    payload: Any = None
+    priority: int = 0
+    sequence: int = field(default=-1, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        if self.fired:
+            raise EventCancelled("cannot cancel an event that already fired")
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (if any) exactly once."""
+        if self.cancelled:
+            raise EventCancelled("cannot fire a cancelled event")
+        if self.fired:
+            raise EventCancelled("event already fired")
+        self.fired = True
+        if self.callback is not None:
+            self.callback(self.payload)
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.fired and not self.cancelled
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, _, event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for _, _, _, event in self._heap)
+
+    def push(self, event: Event) -> Event:
+        """Schedule ``event`` and return it (for chaining/cancellation)."""
+        if event.time < 0:
+            raise ValueError(f"event time must be non-negative, got {event.time}")
+        event.sequence = next(self._counter)
+        heapq.heappush(self._heap, (event.time, event.priority, event.sequence, event))
+        return event
+
+    def schedule(
+        self,
+        time: float,
+        callback: Optional[Callable[[Any], None]] = None,
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Convenience wrapper building and pushing an :class:`Event`."""
+        return self.push(Event(time=time, callback=callback, payload=payload, priority=priority))
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)[3]
+
+    def clear(self) -> None:
+        """Drop every scheduled event."""
+        self._heap.clear()
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,146 @@
+"""Light-weight statistics probes.
+
+The simulator itself stays metric-agnostic; model code attaches probes where
+it wants measurements.  Three probe styles cover everything the evaluation
+needs:
+
+* :class:`CounterProbe` — monotonically increasing named counters
+  (messages sent, collisions, ...).
+* :class:`TallyProbe` — collects samples and reports summary statistics
+  (end-to-end delay, hop counts, ...).
+* :class:`SeriesProbe` — records ``(time, value)`` pairs and can re-bin them
+  into fixed-width windows (throughput over the day, Figs. 10–11).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class CounterProbe:
+    """A set of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to counter ``name``."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self._counts[name] += amount
+
+    def value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counts)
+
+
+@dataclass(frozen=True)
+class TallySummary:
+    """Summary statistics of a tally."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+
+    @staticmethod
+    def empty() -> "TallySummary":
+        nan = float("nan")
+        return TallySummary(0, nan, nan, nan, nan, nan, nan)
+
+
+class TallyProbe:
+    """Collects scalar samples and summarises them."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Append one sample."""
+        if math.isnan(value):
+            raise ValueError("cannot record NaN samples")
+        self._samples.append(float(value))
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Append many samples."""
+        for value in values:
+            self.record(value)
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of the raw samples."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def summary(self) -> TallySummary:
+        """Return count/mean/std/min/max/median/p95 of the samples."""
+        if not self._samples:
+            return TallySummary.empty()
+        arr = np.asarray(self._samples, dtype=float)
+        return TallySummary(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            median=float(np.median(arr)),
+            p95=float(np.percentile(arr, 95)),
+        )
+
+
+class SeriesProbe:
+    """Records time-stamped values and supports fixed-width re-binning."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float = 1.0) -> None:
+        """Append a ``(time, value)`` observation; times need not be ordered."""
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time}")
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """A copy of the raw ``(time, value)`` observations."""
+        return list(zip(self._times, self._values))
+
+    def binned(self, bin_width: float, horizon: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Sum values into consecutive bins of ``bin_width`` seconds up to ``horizon``.
+
+        Returns ``(bin_start_times, bin_sums)``.  Observations beyond the
+        horizon are dropped; this mirrors how the paper reports "messages
+        received every 10 minutes over 24 hours".
+        """
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        n_bins = int(math.ceil(horizon / bin_width))
+        edges = np.arange(n_bins + 1, dtype=float) * bin_width
+        sums = np.zeros(n_bins, dtype=float)
+        for time, value in zip(self._times, self._values):
+            if time >= horizon:
+                continue
+            index = min(int(time // bin_width), n_bins - 1)
+            sums[index] += value
+        return edges[:-1], sums

@@ -1,0 +1,102 @@
+"""Unit tests for run-level metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import RunMetrics, compute_run_metrics
+from repro.mac.device import EndDevice
+from repro.mac.frames import DataMessage, UplinkPacket
+from repro.mac.network_server import NetworkServer
+
+
+def _metrics(**overrides):
+    defaults = dict(
+        scheme="robc",
+        num_gateways=40,
+        device_range_m=500.0,
+        duration_s=3600.0,
+        messages_generated=100,
+        messages_delivered=80,
+        delays_s=[10.0, 20.0, 30.0],
+        hop_counts=[1, 2, 3],
+        delivery_times_s=[100.0, 700.0, 1300.0],
+        transmissions_per_device={"a": 10, "b": 30},
+        energy_joules_per_device={"a": 1.0, "b": 3.0},
+    )
+    defaults.update(overrides)
+    return RunMetrics(**defaults)
+
+
+class TestRunMetrics:
+    def test_delivery_ratio(self):
+        assert _metrics().delivery_ratio == pytest.approx(0.8)
+        assert _metrics(messages_generated=0).delivery_ratio == 0.0
+
+    def test_mean_delay_and_ci(self):
+        metrics = _metrics()
+        assert metrics.mean_delay_s == pytest.approx(20.0)
+        mean, half = metrics.delay_ci95_s
+        assert mean == pytest.approx(20.0)
+        assert half > 0.0
+
+    def test_mean_delay_nan_when_nothing_delivered(self):
+        assert math.isnan(_metrics(delays_s=[]).mean_delay_s)
+
+    def test_hop_and_overhead_means(self):
+        metrics = _metrics()
+        assert metrics.mean_hop_count == pytest.approx(2.0)
+        assert metrics.mean_messages_sent_per_node == pytest.approx(20.0)
+        assert metrics.mean_energy_joules == pytest.approx(2.0)
+
+    def test_throughput_timeseries_bins(self):
+        starts, counts = _metrics().throughput_timeseries(bin_width_s=600.0)
+        assert len(starts) == 6
+        assert counts.sum() == 3.0
+
+
+class TestComputeRunMetrics:
+    def test_assembles_from_devices_and_server(self):
+        device = EndDevice("bus-0001")
+        message = device.generate_message(now=5.0)
+        server = NetworkServer()
+        packet = UplinkPacket(sender="bus-0001", sent_at=65.0, messages=(message,))
+        server.process_uplink(packet, "gw-1", now=65.0)
+        device.record_uplink(now=65.0, airtime_s=0.4)
+
+        metrics = compute_run_metrics(
+            scheme="no-routing",
+            num_gateways=4,
+            device_range_m=500.0,
+            duration_s=3600.0,
+            devices=[device],
+            server=server,
+        )
+        assert metrics.messages_generated == 1
+        assert metrics.messages_delivered == 1
+        assert metrics.delays_s == [pytest.approx(60.0)]
+        assert metrics.hop_counts == [1]
+        assert metrics.transmissions_per_device == {"bus-0001": 1}
+        assert metrics.energy_joules_per_device["bus-0001"] > 0.0
+
+    def test_hops_counted_through_handover(self):
+        origin = EndDevice("bus-0001")
+        carrier = EndDevice("bus-0002")
+        message = origin.generate_message(now=0.0)
+        origin.release_messages([message.message_id])
+        carrier.accept_handover([message], sender="bus-0001")
+        server = NetworkServer()
+        packet = UplinkPacket(sender="bus-0002", sent_at=10.0, messages=(message,))
+        server.process_uplink(packet, "gw-1", now=10.0)
+        metrics = compute_run_metrics("rca-etx", 4, 500.0, 100.0, [origin, carrier], server)
+        assert metrics.hop_counts == [2]
+        assert metrics.messages_generated == 1
+
+    def test_unknown_message_source_still_counted_as_delivery(self):
+        server = NetworkServer()
+        message = DataMessage(source="ghost", created_at=0.0)
+        server.process_uplink(
+            UplinkPacket(sender="ghost", sent_at=1.0, messages=(message,)), "gw-1", 1.0
+        )
+        metrics = compute_run_metrics("no-routing", 1, 500.0, 10.0, [], server)
+        assert metrics.messages_delivered == 1

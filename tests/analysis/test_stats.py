@@ -1,0 +1,52 @@
+"""Unit tests for statistical helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    confidence_interval_95,
+    improvement_percent,
+    mean_and_std,
+    reduction_percent,
+    relative_change,
+)
+
+
+class TestMeanAndStd:
+    def test_known_values(self):
+        mean, std = mean_and_std([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert std == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_empty_input_gives_nan(self):
+        mean, std = mean_and_std([])
+        assert math.isnan(mean) and math.isnan(std)
+
+
+class TestConfidenceInterval:
+    def test_zero_width_for_single_sample(self):
+        mean, half = confidence_interval_95([5.0])
+        assert mean == 5.0 and half == 0.0
+
+    def test_width_shrinks_with_more_samples(self):
+        few = confidence_interval_95([1.0, 3.0] * 5)[1]
+        many = confidence_interval_95([1.0, 3.0] * 50)[1]
+        assert many < few
+
+    def test_empty_input_gives_nan(self):
+        mean, half = confidence_interval_95([])
+        assert math.isnan(mean) and math.isnan(half)
+
+
+class TestRelativeChange:
+    def test_improvement(self):
+        assert relative_change(100.0, 153.0) == pytest.approx(0.53)
+        assert improvement_percent(100.0, 153.0) == pytest.approx(53.0)
+
+    def test_reduction(self):
+        assert reduction_percent(200.0, 150.0) == pytest.approx(25.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_change(0.0, 1.0)

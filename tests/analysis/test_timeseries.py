@@ -1,0 +1,53 @@
+"""Unit tests for time-series binning."""
+
+import pytest
+
+from repro.analysis.timeseries import bin_events, cumulative_counts, moving_average
+
+
+class TestBinEvents:
+    def test_counts_events_per_bin(self):
+        starts, counts = bin_events([5.0, 15.0, 16.0, 25.0], bin_width_s=10.0, horizon_s=30.0)
+        assert list(starts) == [0.0, 10.0, 20.0]
+        assert list(counts) == [1.0, 2.0, 1.0]
+
+    def test_weights_are_summed(self):
+        _, counts = bin_events([1.0, 2.0], 10.0, 10.0, weights=[2.0, 3.0])
+        assert list(counts) == [5.0]
+
+    def test_events_beyond_horizon_dropped(self):
+        _, counts = bin_events([50.0], 10.0, 30.0)
+        assert counts.sum() == 0.0
+
+    def test_total_count_preserved_within_horizon(self):
+        times = [float(t) for t in range(0, 86400, 613)]
+        _, counts = bin_events(times, 600.0, 86400.0)
+        assert counts.sum() == len(times)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            bin_events([1.0], 0.0, 10.0)
+        with pytest.raises(ValueError):
+            bin_events([1.0], 10.0, 10.0, weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            bin_events([-1.0], 10.0, 10.0)
+
+
+class TestCumulativeCounts:
+    def test_cumulative_is_monotone_and_ends_at_total(self):
+        times = [100.0, 200.0, 5000.0]
+        _, cumulative = cumulative_counts(times, horizon_s=6000.0, resolution_s=600.0)
+        assert list(cumulative) == sorted(cumulative)
+        assert cumulative[-1] == 3.0
+
+
+class TestMovingAverage:
+    def test_smooths_with_window(self):
+        assert moving_average([0.0, 10.0, 20.0], window=2) == [0.0, 5.0, 15.0]
+
+    def test_window_one_is_identity(self):
+        assert moving_average([1.0, 2.0, 3.0], window=1) == [1.0, 2.0, 3.0]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)

@@ -1,0 +1,40 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight from
+# a source checkout in an offline environment).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_scenario_config():
+    """A tiny scenario that runs in well under a second."""
+    from repro.experiments.config import ScenarioConfig
+
+    return ScenarioConfig(
+        duration_s=1800.0,
+        area_km2=20.0,
+        num_gateways=3,
+        num_routes=4,
+        trips_per_route=2,
+        stops_per_route=5,
+        min_block_repeats=1,
+        max_block_repeats=2,
+        device_range_m=1000.0,
+        seed=11,
+    )

@@ -1,0 +1,52 @@
+"""Unit tests for the CA-ETX baseline estimator."""
+
+import pytest
+
+from repro.core.ca_etx import CAETXEstimator
+
+
+class TestCAETXEstimator:
+    def test_no_history_returns_cap(self):
+        assert CAETXEstimator(max_value_s=123.0).value == 123.0
+
+    def test_deterministic_gaps_give_mean_residual_half_gap(self):
+        estimator = CAETXEstimator()
+        for _ in range(10):
+            estimator.record_contact(transmission_time_s=2.0, preceding_gap_s=100.0)
+        # Zero variance: residual wait is gap/2.
+        assert estimator.value == pytest.approx(2.0 + 50.0)
+
+    def test_variance_increases_expected_wait(self):
+        regular = CAETXEstimator()
+        bursty = CAETXEstimator()
+        for gap in (100.0, 100.0, 100.0, 100.0):
+            regular.record_contact(1.0, gap)
+        for gap in (10.0, 190.0, 10.0, 190.0):
+            bursty.record_contact(1.0, gap)
+        assert bursty.value > regular.value
+
+    def test_zero_gaps_mean_always_connected(self):
+        estimator = CAETXEstimator()
+        estimator.record_contact(3.0, 0.0)
+        assert estimator.value == pytest.approx(3.0)
+
+    def test_value_capped(self):
+        estimator = CAETXEstimator(max_value_s=60.0)
+        estimator.record_contact(1.0, 1e9)
+        assert estimator.value == 60.0
+
+    def test_statistics_accessors(self):
+        estimator = CAETXEstimator()
+        estimator.record_contact(2.0, 10.0)
+        estimator.record_contact(4.0, 30.0)
+        assert estimator.sample_count == 2
+        assert estimator.mean_transmission_time == pytest.approx(3.0)
+        assert estimator.mean_gap == pytest.approx(20.0)
+        assert estimator.gap_variance == pytest.approx(100.0)
+
+    def test_negative_inputs_rejected(self):
+        estimator = CAETXEstimator()
+        with pytest.raises(ValueError):
+            estimator.record_contact(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            estimator.record_contact(1.0, -1.0)

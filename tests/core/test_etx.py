@@ -1,0 +1,57 @@
+"""Unit tests for the classic ETX baseline."""
+
+import pytest
+
+from repro.core.etx import DeliveryRatioEstimator, ETXEstimator
+
+
+class TestDeliveryRatioEstimator:
+    def test_no_history_gives_zero_ratio(self):
+        assert DeliveryRatioEstimator().ratio == 0.0
+
+    def test_ratio_counts_successes(self):
+        estimator = DeliveryRatioEstimator(window=4)
+        for outcome in (True, True, False, True):
+            estimator.record(outcome)
+        assert estimator.ratio == pytest.approx(0.75)
+
+    def test_window_slides(self):
+        estimator = DeliveryRatioEstimator(window=2)
+        estimator.record(False)
+        estimator.record(True)
+        estimator.record(True)
+        assert estimator.ratio == 1.0
+        assert estimator.sample_count == 2
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            DeliveryRatioEstimator(window=0)
+
+
+class TestETXEstimator:
+    def test_perfect_link_has_etx_one(self):
+        etx = ETXEstimator()
+        for _ in range(4):
+            etx.record_forward(True)
+            etx.record_reverse(True)
+        assert etx.value == pytest.approx(1.0)
+
+    def test_half_duplex_loss_gives_etx_two(self):
+        etx = ETXEstimator()
+        for outcome in (True, False, True, False):
+            etx.record_forward(outcome)
+            etx.record_reverse(True)
+        assert etx.value == pytest.approx(2.0)
+
+    def test_dead_link_capped_at_max(self):
+        etx = ETXEstimator(max_etx=50.0)
+        etx.record_forward(False)
+        etx.record_reverse(False)
+        assert etx.value == 50.0
+
+    def test_value_without_history_is_max(self):
+        assert ETXEstimator(max_etx=77.0).value == 77.0
+
+    def test_invalid_max_rejected(self):
+        with pytest.raises(ValueError):
+            ETXEstimator(max_etx=1.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the EWMA estimator (Eq. 4)."""
+
+import pytest
+
+from repro.core.ewma import ExponentialMovingAverage
+
+
+class TestExponentialMovingAverage:
+    def test_first_sample_initialises_estimate(self):
+        ewma = ExponentialMovingAverage(alpha=0.5)
+        assert ewma.update(10.0) == 10.0
+        assert ewma.value == 10.0
+
+    def test_update_follows_equation_4(self):
+        ewma = ExponentialMovingAverage(alpha=0.25)
+        ewma.update(100.0)
+        assert ewma.update(0.0) == pytest.approx(75.0)
+        assert ewma.update(0.0) == pytest.approx(56.25)
+
+    def test_alpha_one_tracks_latest_sample(self):
+        ewma = ExponentialMovingAverage(alpha=1.0)
+        ewma.update(5.0)
+        assert ewma.update(42.0) == 42.0
+
+    def test_higher_alpha_adapts_faster(self):
+        slow = ExponentialMovingAverage(alpha=0.1)
+        fast = ExponentialMovingAverage(alpha=0.9)
+        for estimator in (slow, fast):
+            estimator.update(100.0)
+            estimator.update(0.0)
+        assert fast.value < slow.value
+
+    def test_sample_count_and_initialised(self):
+        ewma = ExponentialMovingAverage()
+        assert not ewma.initialised
+        ewma.update(1.0)
+        ewma.update(2.0)
+        assert ewma.sample_count == 2
+        assert ewma.initialised
+
+    def test_reset_clears_state(self):
+        ewma = ExponentialMovingAverage()
+        ewma.update(3.0)
+        ewma.reset()
+        assert ewma.value is None
+        assert ewma.sample_count == 0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(alpha=1.5)
+
+    def test_non_finite_sample_rejected(self):
+        ewma = ExponentialMovingAverage()
+        with pytest.raises(ValueError):
+            ewma.update(float("nan"))
+        with pytest.raises(ValueError):
+            ewma.update(float("inf"))

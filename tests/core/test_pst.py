@@ -1,0 +1,118 @@
+"""Unit tests for PST/RPST (Eqs. 2-3) and the sink-contact tracker."""
+
+import pytest
+
+from repro.core.pst import RealTimePacketServiceTime, SinkContactTracker
+
+
+class TestSinkContactTracker:
+    def test_initial_state_has_no_history(self):
+        tracker = SinkContactTracker()
+        assert not tracker.has_contact_history
+        assert tracker.contact_count == 0
+
+    def test_connected_observation_recorded_as_contact(self):
+        tracker = SinkContactTracker()
+        tracker.observe(10.0, 50.0)
+        assert tracker.has_contact_history
+        assert tracker.last_contact_time == 10.0
+        assert tracker.last_contact_capacity_bps == 50.0
+
+    def test_disconnected_observation_keeps_last_contact(self):
+        tracker = SinkContactTracker()
+        tracker.observe(10.0, 50.0)
+        tracker.observe(20.0, 0.0)
+        assert tracker.last_slot_capacity_bps == 0.0
+        assert tracker.last_contact_time == 10.0
+
+    def test_contact_count_counts_disconnection_separated_contacts(self):
+        tracker = SinkContactTracker()
+        tracker.observe(0.0, 10.0)
+        tracker.observe(1.0, 20.0)   # same contact
+        tracker.observe(2.0, 0.0)    # gap
+        tracker.observe(3.0, 30.0)   # new contact
+        assert tracker.contact_count == 2
+
+    def test_out_of_order_observation_rejected(self):
+        tracker = SinkContactTracker()
+        tracker.observe(10.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.observe(5.0, 1.0)
+
+    def test_negative_values_rejected(self):
+        tracker = SinkContactTracker()
+        with pytest.raises(ValueError):
+            tracker.observe(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.observe(1.0, -1.0)
+
+
+class TestRealTimePacketServiceTime:
+    def test_no_history_returns_ceiling(self):
+        pst = RealTimePacketServiceTime(packet_bits=100.0, max_service_time_s=1000.0)
+        assert pst.rpst(now=50.0) == 1000.0
+        assert pst.expected == 1000.0
+
+    def test_connected_rpst_is_transmission_time_plus_wait(self):
+        pst = RealTimePacketServiceTime(packet_bits=100.0)
+        pst.tracker.observe(0.0, 50.0)
+        assert pst.rpst(now=0.0, wait_s=3.0) == pytest.approx(100.0 / 50.0 + 3.0)
+
+    def test_disconnected_rpst_grows_with_elapsed_time(self):
+        pst = RealTimePacketServiceTime(packet_bits=100.0)
+        pst.tracker.observe(0.0, 50.0)
+        pst.tracker.observe(60.0, 0.0)
+        early = pst.rpst(now=60.0)
+        late = pst.rpst(now=600.0)
+        assert late > early
+        assert late == pytest.approx(100.0 / 50.0 + 600.0)
+
+    def test_rpst_capped_at_maximum(self):
+        pst = RealTimePacketServiceTime(packet_bits=100.0, max_service_time_s=500.0)
+        pst.tracker.observe(0.0, 50.0)
+        pst.tracker.observe(10.0, 0.0)
+        assert pst.rpst(now=1e6) == 500.0
+
+    def test_observe_slot_feeds_ewma(self):
+        pst = RealTimePacketServiceTime(alpha=0.5, packet_bits=100.0)
+        first = pst.observe_slot(0.0, 100.0)
+        second = pst.observe_slot(10.0, 50.0)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+        assert pst.expected == pytest.approx(1.5)
+        assert pst.sample_count == 2
+
+    def test_better_capacity_means_smaller_metric(self):
+        good = RealTimePacketServiceTime(packet_bits=100.0)
+        poor = RealTimePacketServiceTime(packet_bits=100.0)
+        good.observe_slot(0.0, 100.0)
+        poor.observe_slot(0.0, 5.0)
+        assert good.expected < poor.expected
+
+    def test_device_in_long_outage_has_growing_expected_metric(self):
+        pst = RealTimePacketServiceTime(alpha=0.5, packet_bits=100.0)
+        pst.observe_slot(0.0, 50.0)
+        baseline = pst.expected
+        for slot in range(1, 6):
+            pst.observe_slot(slot * 180.0, 0.0)
+        assert pst.expected > baseline
+
+    def test_transmission_time_handles_zero_capacity(self):
+        pst = RealTimePacketServiceTime(packet_bits=100.0, max_service_time_s=777.0)
+        assert pst.transmission_time(0.0) == 777.0
+
+    def test_reset_restores_initial_state(self):
+        pst = RealTimePacketServiceTime()
+        pst.observe_slot(0.0, 10.0)
+        pst.reset()
+        assert not pst.tracker.has_contact_history
+        assert pst.expected == pst.max_service_time_s
+
+    def test_negative_wait_rejected(self):
+        pst = RealTimePacketServiceTime()
+        with pytest.raises(ValueError):
+            pst.rpst(0.0, wait_s=-1.0)
+
+    def test_invalid_packet_bits_rejected(self):
+        with pytest.raises(ValueError):
+            RealTimePacketServiceTime(packet_bits=0.0)

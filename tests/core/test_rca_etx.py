@@ -1,0 +1,87 @@
+"""Unit tests for RCA-ETX link metric and the Eq. (1) handover rule."""
+
+import pytest
+
+from repro.core.rca_etx import RCAETXState, link_rca_etx, should_forward_greedy
+from repro.phy.link import LinkCapacityModel
+
+
+@pytest.fixture
+def capacity_model():
+    return LinkCapacityModel(max_capacity_bps=100.0, rssi_min_dbm=-120.0, rssi_max_dbm=-80.0)
+
+
+class TestLinkRcaEtx:
+    def test_strong_link_has_small_metric(self, capacity_model):
+        assert link_rca_etx(-80.0, capacity_model, packet_bits=100.0) == pytest.approx(1.0)
+
+    def test_disconnected_link_returns_cap(self, capacity_model):
+        assert link_rca_etx(-130.0, capacity_model, packet_bits=100.0, max_value=999.0) == 999.0
+
+    def test_metric_decreases_with_rssi(self, capacity_model):
+        weak = link_rca_etx(-115.0, capacity_model, packet_bits=100.0)
+        strong = link_rca_etx(-90.0, capacity_model, packet_bits=100.0)
+        assert strong < weak
+
+    def test_metric_scales_with_packet_size(self, capacity_model):
+        small = link_rca_etx(-90.0, capacity_model, packet_bits=100.0)
+        large = link_rca_etx(-90.0, capacity_model, packet_bits=200.0)
+        assert large == pytest.approx(2.0 * small)
+
+    def test_invalid_packet_bits_rejected(self, capacity_model):
+        with pytest.raises(ValueError):
+            link_rca_etx(-90.0, capacity_model, packet_bits=0.0)
+
+
+class TestHandoverRule:
+    def test_forwards_when_neighbour_route_strictly_cheaper(self):
+        assert should_forward_greedy(100.0, 40.0, 10.0)
+
+    def test_keeps_data_when_neighbour_route_equal_cost(self):
+        assert not should_forward_greedy(50.0, 40.0, 10.0)
+
+    def test_keeps_data_when_neighbour_route_more_expensive(self):
+        assert not should_forward_greedy(50.0, 60.0, 10.0)
+
+    def test_expensive_link_blocks_forwarding(self):
+        assert not should_forward_greedy(100.0, 10.0, 95.0)
+
+    def test_negative_metrics_rejected(self):
+        with pytest.raises(ValueError):
+            should_forward_greedy(-1.0, 1.0, 1.0)
+
+
+class TestRCAETXState:
+    def test_sink_metric_tracks_observations(self):
+        state = RCAETXState(packet_bits=100.0)
+        state.observe_transmission_slot(0.0, 100.0)
+        assert state.sink_metric() == pytest.approx(1.0)
+
+    def test_should_forward_to_connected_neighbour_when_disconnected(self, capacity_model):
+        state = RCAETXState(packet_bits=100.0)
+        state.observe_transmission_slot(0.0, 10.0)      # one old contact
+        for slot in range(1, 6):
+            state.observe_transmission_slot(slot * 180.0, 0.0)   # long outage
+        assert state.should_forward_to(
+            neighbour_sink_metric=2.0, rssi_dbm=-85.0, capacity_model=capacity_model
+        )
+
+    def test_should_not_forward_when_own_route_good(self, capacity_model):
+        state = RCAETXState(packet_bits=100.0)
+        state.observe_transmission_slot(0.0, 100.0)
+        assert not state.should_forward_to(
+            neighbour_sink_metric=2.0, rssi_dbm=-85.0, capacity_model=capacity_model
+        )
+
+    def test_explicit_own_metric_override(self, capacity_model):
+        state = RCAETXState(packet_bits=100.0)
+        assert state.should_forward_to(
+            neighbour_sink_metric=1.0,
+            rssi_dbm=-85.0,
+            capacity_model=capacity_model,
+            own_sink_metric=1000.0,
+        )
+
+    def test_link_metric_uses_configured_packet_bits(self, capacity_model):
+        state = RCAETXState(packet_bits=200.0)
+        assert state.link_metric(-80.0, capacity_model) == pytest.approx(2.0)

@@ -1,0 +1,46 @@
+"""Unit tests for Real-time Gateway Quality (ϕ)."""
+
+import pytest
+
+from repro.core.rgq import RealTimeGatewayQuality
+
+
+class TestRealTimeGatewayQuality:
+    def test_phi_is_reciprocal_of_metric_inside_bounds(self):
+        rgq = RealTimeGatewayQuality(phi_min=0.001, phi_max=10.0)
+        assert rgq.phi(4.0) == pytest.approx(0.25)
+
+    def test_phi_clamped_to_upper_bound(self):
+        rgq = RealTimeGatewayQuality(phi_min=0.001, phi_max=2.0)
+        assert rgq.phi(0.1) == 2.0
+
+    def test_phi_clamped_to_lower_bound(self):
+        rgq = RealTimeGatewayQuality(phi_min=0.01, phi_max=10.0)
+        assert rgq.phi(1e6) == 0.01
+
+    def test_zero_metric_maps_to_best_quality(self):
+        rgq = RealTimeGatewayQuality(phi_max=5.0)
+        assert rgq.phi(0.0) == 5.0
+
+    def test_corrected_queue_divides_by_phi(self):
+        rgq = RealTimeGatewayQuality(phi_min=0.001, phi_max=10.0)
+        assert rgq.corrected_queue(10.0, 2.0) == pytest.approx(20.0)
+
+    def test_worse_gateway_quality_inflates_corrected_queue(self):
+        rgq = RealTimeGatewayQuality()
+        good = rgq.corrected_queue(10.0, 1.0)
+        poor = rgq.corrected_queue(10.0, 100.0)
+        assert poor > good
+
+    def test_negative_inputs_rejected(self):
+        rgq = RealTimeGatewayQuality()
+        with pytest.raises(ValueError):
+            rgq.phi(-1.0)
+        with pytest.raises(ValueError):
+            rgq.corrected_queue(-1.0, 1.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RealTimeGatewayQuality(phi_min=5.0, phi_max=1.0)
+        with pytest.raises(ValueError):
+            RealTimeGatewayQuality(phi_min=0.0, phi_max=1.0)

@@ -1,0 +1,76 @@
+"""Unit tests for ROBC weights, transfer amounts (Eq. 10) and Eq. (11)."""
+
+import pytest
+
+from repro.core.rgq import RealTimeGatewayQuality
+from repro.core.robc import (
+    queue_based_class_a_window_fraction,
+    robc_transfer_amount,
+    robc_weight,
+)
+
+RGQ = RealTimeGatewayQuality(phi_min=1e-6, phi_max=10.0)
+
+
+class TestRobcWeight:
+    def test_positive_when_own_corrected_backlog_larger(self):
+        # Own device: 10 messages, poor gateway (metric 100 s);
+        # neighbour: 2 messages, good gateway (metric 2 s).
+        assert robc_weight(10, 100.0, 2, 2.0, RGQ) > 0
+
+    def test_negative_when_neighbour_more_loaded(self):
+        assert robc_weight(1, 2.0, 50, 2.0, RGQ) < 0
+
+    def test_zero_for_identical_states(self):
+        assert robc_weight(5, 10.0, 5, 10.0, RGQ) == pytest.approx(0.0)
+
+    def test_equal_queues_push_towards_better_gateway(self):
+        # Same backlog, but the neighbour drains faster -> positive weight.
+        assert robc_weight(5, 100.0, 5, 1.0, RGQ) > 0
+
+
+class TestRobcTransferAmount:
+    def test_zero_when_weight_not_positive(self):
+        assert robc_transfer_amount(1, 2.0, 50, 2.0, RGQ) == 0.0
+
+    def test_equal_quality_transfers_queue_difference(self):
+        # phi_x == phi_y, so delta = Q_x - Q_y.
+        assert robc_transfer_amount(10, 5.0, 4, 5.0, RGQ) == pytest.approx(6.0)
+
+    def test_transfer_never_exceeds_own_queue(self):
+        amount = robc_transfer_amount(3, 1000.0, 0, 0.5, RGQ)
+        assert 0 < amount <= 3
+
+    def test_transfer_non_negative(self):
+        assert robc_transfer_amount(0, 100.0, 0, 1.0, RGQ) == 0.0
+
+    def test_better_neighbour_gateway_increases_transfer(self):
+        small = robc_transfer_amount(10, 50.0, 5, 40.0, RGQ)
+        large = robc_transfer_amount(10, 50.0, 5, 1.0, RGQ)
+        assert large >= small
+
+
+class TestQueueBasedClassAWindow:
+    def test_empty_queue_gives_zero_window(self):
+        assert queue_based_class_a_window_fraction(0, 64, 10.0, RGQ) == 0.0
+
+    def test_fraction_clamped_to_one(self):
+        assert queue_based_class_a_window_fraction(64, 64, 1e9, RGQ) == 1.0
+
+    def test_longer_queue_opens_longer_window(self):
+        # A well-connected device (small metric, large phi) so the fraction
+        # stays below the clamp and the queue-length dependence is visible.
+        short = queue_based_class_a_window_fraction(2, 64, 0.2, RGQ)
+        long = queue_based_class_a_window_fraction(20, 64, 0.2, RGQ)
+        assert long > short
+
+    def test_worse_gateway_quality_opens_longer_window(self):
+        good = queue_based_class_a_window_fraction(8, 64, 1.0, RGQ)
+        poor = queue_based_class_a_window_fraction(8, 64, 1000.0, RGQ)
+        assert poor >= good
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            queue_based_class_a_window_fraction(1, 0, 1.0, RGQ)
+        with pytest.raises(ValueError):
+            queue_based_class_a_window_fraction(-1, 10, 1.0, RGQ)

@@ -1,0 +1,76 @@
+"""Unit tests for scenario construction."""
+
+import pytest
+
+from repro.experiments.scenario import build_scenario, make_device_class
+from repro.mac.device_classes import ModifiedClassC, QueueBasedClassA
+from repro.routing.no_routing import NoRoutingScheme
+from repro.routing.robc_scheme import ROBCScheme
+
+
+class TestMakeDeviceClass:
+    def test_known_classes(self):
+        assert isinstance(make_device_class("modified-class-c"), ModifiedClassC)
+        assert isinstance(make_device_class("queue-based-class-a"), QueueBasedClassA)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            make_device_class("class-z")
+
+
+class TestBuildScenario:
+    def test_builds_expected_object_counts(self, small_scenario_config):
+        scenario = build_scenario(small_scenario_config)
+        expected_devices = (
+            small_scenario_config.num_routes * small_scenario_config.trips_per_route
+        )
+        assert scenario.num_devices == expected_devices
+        assert len(scenario.gateways) == small_scenario_config.num_gateways
+        assert len(scenario.traces) == expected_devices
+        assert isinstance(scenario.scheme, NoRoutingScheme)
+
+    def test_scheme_selection(self, small_scenario_config):
+        scenario = build_scenario(small_scenario_config.with_scheme("robc"))
+        assert isinstance(scenario.scheme, ROBCScheme)
+
+    def test_device_ids_match_between_traces_and_devices(self, small_scenario_config):
+        scenario = build_scenario(small_scenario_config)
+        assert set(scenario.traces) == set(scenario.devices)
+
+    def test_gateways_inside_service_area(self, small_scenario_config):
+        scenario = build_scenario(small_scenario_config)
+        for gateway in scenario.gateways.values():
+            assert scenario.bounding_box.contains(gateway.position)
+
+    def test_grid_and_random_placement_differ(self, small_scenario_config):
+        from dataclasses import replace
+
+        grid = build_scenario(small_scenario_config)
+        random_placed = build_scenario(replace(small_scenario_config, gateway_placement="random"))
+        grid_positions = [(g.position.x, g.position.y) for g in grid.gateways.values()]
+        random_positions = [(g.position.x, g.position.y) for g in random_placed.gateways.values()]
+        assert grid_positions != random_positions
+
+    def test_same_seed_reproduces_scenario(self, small_scenario_config):
+        a = build_scenario(small_scenario_config)
+        b = build_scenario(small_scenario_config)
+        a_trace = next(iter(a.traces.values()))
+        b_trace = b.traces[a_trace.node_id]
+        assert a_trace.points == b_trace.points
+
+    def test_different_seed_changes_mobility(self, small_scenario_config):
+        a = build_scenario(small_scenario_config)
+        b = build_scenario(small_scenario_config.with_seed(99))
+        a_trace = next(iter(a.traces.values()))
+        b_trace = b.traces[a_trace.node_id]
+        assert a_trace.points != b_trace.points
+
+    def test_device_class_applied_to_all_devices(self, small_scenario_config):
+        from dataclasses import replace
+
+        scenario = build_scenario(
+            replace(small_scenario_config, device_class="queue-based-class-a")
+        )
+        assert all(
+            isinstance(d.device_class, QueueBasedClassA) for d in scenario.devices.values()
+        )

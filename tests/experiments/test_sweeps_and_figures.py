@@ -1,0 +1,137 @@
+"""Tests for sweeps, figure definitions and reporting."""
+
+import pytest
+
+from repro.analysis.metrics import RunMetrics
+from repro.experiments.figures import (
+    BusNetworkProperties,
+    ReproductionScale,
+    ThroughputTimeSeries,
+    figure07_bus_network,
+    figure08_delay,
+    figure09_throughput,
+    figure12_hops,
+    figure13_overhead,
+)
+from repro.experiments.reporting import (
+    format_bus_network,
+    format_figure_rows,
+    format_metric_comparison,
+    format_table,
+    format_timeseries,
+)
+from repro.experiments.sweeps import SweepResult
+
+
+def _run(scheme, gateways, device_range, value):
+    return RunMetrics(
+        scheme=scheme,
+        num_gateways=gateways,
+        device_range_m=device_range,
+        duration_s=3600.0,
+        messages_generated=100,
+        messages_delivered=int(value),
+        delays_s=[value],
+        hop_counts=[1],
+        delivery_times_s=[10.0],
+        transmissions_per_device={"a": int(value)},
+        energy_joules_per_device={"a": value},
+    )
+
+
+@pytest.fixture
+def sweep():
+    result = SweepResult()
+    for scheme, base in (("no-routing", 50), ("rca-etx", 60), ("robc", 70)):
+        for gateways in (40, 100):
+            for device_range in (500.0, 1000.0):
+                result.add(_run(scheme, gateways, device_range, base + gateways / 10.0))
+    return result
+
+
+class TestSweepResult:
+    def test_indexing_and_accessors(self, sweep):
+        assert sweep.schemes() == ["no-routing", "rca-etx", "robc"]
+        assert sweep.gateway_counts() == [40, 100]
+        assert sweep.device_ranges() == [500.0, 1000.0]
+        assert sweep.get("robc", 40, 500.0).messages_delivered == 74
+
+    def test_series_extraction(self, sweep):
+        series = sweep.series("rca-etx", 500.0, "throughput_messages")
+        assert series == [(40, 64.0), (100, 70.0)]
+
+    def test_missing_run_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.get("robc", 99, 500.0)
+
+
+class TestFigureRows:
+    def test_figure_rows_cover_all_combinations(self, sweep):
+        rows = figure08_delay(sweep)
+        assert len(rows) == 3 * 2 * 2
+        assert {row.environment for row in rows} == {"urban", "rural"}
+
+    def test_each_figure_reads_its_metric(self, sweep):
+        throughput = figure09_throughput(sweep)
+        hops = figure12_hops(sweep)
+        overhead = figure13_overhead(sweep)
+        assert all(row.value > 0 for row in throughput)
+        assert all(row.value == 1.0 for row in hops)
+        assert all(row.value > 0 for row in overhead)
+
+
+class TestFigure07:
+    def test_bus_network_properties_generated(self):
+        scale = ReproductionScale(spatial_scale=0.05, duration_s=3600.0)
+        properties = figure07_bus_network(scale)
+        assert isinstance(properties, BusNetworkProperties)
+        assert len(properties.bin_starts_s) == len(properties.active_buses)
+        assert properties.peak_active_buses >= properties.night_active_buses
+        assert all(d > 0 for d in properties.active_durations_s)
+
+
+class TestReproductionScale:
+    def test_base_config_scaled(self):
+        scale = ReproductionScale(spatial_scale=0.1, duration_s=3600.0)
+        config = scale.base_config()
+        assert config.area_km2 == pytest.approx(60.0)
+        assert config.duration_s == 3600.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ReproductionScale(spatial_scale=0.0)
+        with pytest.raises(ValueError):
+            ReproductionScale(duration_s=0.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "b"), [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "longer" in lines[3]
+
+    def test_format_figure_rows_contains_values(self, sweep):
+        text = format_figure_rows("Fig 9", figure09_throughput(sweep), unit="messages")
+        assert "Fig 9" in text and "robc" in text and "urban" in text
+
+    def test_format_bus_network(self):
+        properties = BusNetworkProperties(
+            bin_starts_s=[0.0, 1800.0], active_buses=[2, 5], active_durations_s=[100.0, 200.0]
+        )
+        text = format_bus_network("Fig 7", properties)
+        assert "peak active buses" in text and "5" in text
+
+    def test_format_timeseries(self):
+        series = ThroughputTimeSeries(
+            environment="urban",
+            bin_starts_s=[0.0, 600.0],
+            series_by_scheme={"robc": [1.0, 2.0], "no-routing": [1.0, 1.0]},
+        )
+        text = format_timeseries("Fig 10", series)
+        assert "urban" in text and "robc" in text
+
+    def test_format_metric_comparison(self):
+        runs = {"grid": _run("robc", 40, 500.0, 60.0)}
+        text = format_metric_comparison("Ablation", runs, ("mean_delay_s", "throughput_messages"))
+        assert "Ablation" in text and "grid" in text

@@ -1,0 +1,152 @@
+"""Unit tests for the end-device MAC state."""
+
+import pytest
+
+from repro.mac.device import DeviceConfig, EndDevice
+from repro.mac.device_classes import ClassADevice, QueueBasedClassA
+from repro.mac.frames import DataMessage
+from repro.phy.energy import RadioState
+
+
+@pytest.fixture
+def device():
+    return EndDevice("bus-0001", config=DeviceConfig(max_queue_size=32))
+
+
+class TestMessageGeneration:
+    def test_generate_enqueues_and_counts(self, device):
+        message = device.generate_message(now=10.0)
+        assert device.queue_length() == 1
+        assert device.stats.messages_generated == 1
+        assert message.source == "bus-0001"
+
+    def test_generation_resets_retransmission_counter(self, device):
+        device.generate_message(0.0)
+        device.on_uplink_failed()
+        device.on_uplink_failed()
+        device.generate_message(180.0)
+        assert device.retransmission_count == 0
+
+
+class TestUplink:
+    def test_build_uplink_bundles_up_to_limit(self, device):
+        for i in range(20):
+            device.generate_message(float(i))
+        packet = device.build_uplink(now=30.0, include_queue_length=True)
+        assert len(packet) == device.config.max_messages_per_packet
+        assert packet.queue_length == 20
+        assert packet.rca_etx_s is not None
+
+    def test_build_uplink_without_queue_length_field(self, device):
+        device.generate_message(0.0)
+        packet = device.build_uplink(now=1.0, include_queue_length=False)
+        assert packet.queue_length is None
+
+    def test_build_uplink_empty_queue_raises(self, device):
+        with pytest.raises(ValueError):
+            device.build_uplink(0.0, include_queue_length=False)
+
+    def test_record_uplink_updates_duty_cycle_energy_and_stats(self, device):
+        device.generate_message(0.0)
+        device.record_uplink(now=0.0, airtime_s=0.5)
+        assert device.stats.uplink_transmissions == 1
+        assert not device.can_transmit(1.0)
+        assert device.energy.seconds_in(RadioState.TX) == 0.5
+        assert device.last_uplink_end == 0.5
+
+    def test_acknowledgement_clears_messages(self, device):
+        messages = [device.generate_message(float(i)) for i in range(3)]
+        removed = device.on_acknowledged([m.message_id for m in messages[:2]])
+        assert len(removed) == 2
+        assert device.queue_length() == 1
+        assert device.stats.messages_acked == 2
+
+    def test_uplink_failure_respects_retry_limit(self, device):
+        device.generate_message(0.0)
+        allowed = [device.on_uplink_failed() for _ in range(device.config.max_retransmissions + 1)]
+        assert all(allowed[:-1])
+        assert not allowed[-1]
+
+
+class TestHandover:
+    def test_transferable_messages_excludes_loop_back(self, device):
+        own = device.generate_message(0.0)
+        foreign = DataMessage(source="bus-0002", created_at=0.0)
+        foreign.handover(device.device_id)
+        foreign.received_from = "bus-0002"
+        device.queue.push(foreign)
+        eligible = device.transferable_messages("bus-0002", limit=10)
+        assert own in eligible
+        assert foreign not in eligible
+
+    def test_transferable_messages_respects_limit(self, device):
+        for i in range(10):
+            device.generate_message(float(i))
+        assert len(device.transferable_messages("bus-0002", limit=4)) == 4
+
+    def test_release_messages_removes_and_counts(self, device):
+        messages = [device.generate_message(float(i)) for i in range(3)]
+        removed = device.release_messages([m.message_id for m in messages])
+        assert len(removed) == 3
+        assert device.stats.messages_handed_over == 3
+        assert device.queue_length() == 0
+
+    def test_accept_handover_increments_hops_and_stats(self, device):
+        incoming = [DataMessage(source="bus-0002", created_at=0.0) for _ in range(2)]
+        accepted = device.accept_handover(incoming, sender="bus-0002")
+        assert accepted == 2
+        assert device.stats.messages_received_from_peers == 2
+        assert all(m.carried_by == device.device_id for m in device.queue.peek_all())
+        assert all(m.hops == 1 for m in device.queue.peek_all())
+
+    def test_accept_handover_respects_queue_capacity(self):
+        device = EndDevice("bus-0001", config=DeviceConfig(max_queue_size=2))
+        incoming = [DataMessage(source="bus-0002", created_at=0.0) for _ in range(5)]
+        assert device.accept_handover(incoming, "bus-0002") == 2
+
+
+class TestListeningAndEnergy:
+    def test_modified_class_c_always_listening(self, device):
+        assert device.is_listening(123.0)
+
+    def test_class_a_device_does_not_overhear(self):
+        device = EndDevice("bus-0001", device_class=ClassADevice())
+        assert not device.is_listening(123.0)
+
+    def test_queue_based_class_a_listening_depends_on_backlog(self):
+        device = EndDevice(
+            "bus-0001",
+            config=DeviceConfig(max_queue_size=16),
+            device_class=QueueBasedClassA(),
+        )
+        assert not device.is_listening(10.0)
+        for i in range(16):
+            device.generate_message(float(i))
+        device.record_uplink(now=20.0, airtime_s=0.4)
+        assert device.listening_fraction() > 0.0
+
+    def test_account_idle_period_splits_rx_and_sleep(self):
+        device = EndDevice("bus-0001", device_class=ClassADevice())
+        device.account_idle_period(100.0)
+        assert device.energy.seconds_in(RadioState.SLEEP) == pytest.approx(100.0)
+        always_on = EndDevice("bus-0002")
+        always_on.account_idle_period(100.0)
+        assert always_on.energy.seconds_in(RadioState.RX) == pytest.approx(100.0)
+
+    def test_negative_idle_period_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.account_idle_period(-1.0)
+
+
+class TestValidation:
+    def test_empty_device_id_rejected(self):
+        with pytest.raises(ValueError):
+            EndDevice("")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(message_interval_s=0.0)
+        with pytest.raises(ValueError):
+            DeviceConfig(max_queue_size=0)
+        with pytest.raises(ValueError):
+            DeviceConfig(duty_cycle=1.5)

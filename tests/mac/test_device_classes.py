@@ -1,0 +1,81 @@
+"""Unit tests for the LoRaWAN device classes including the paper's variants."""
+
+import pytest
+
+from repro.mac.device_classes import (
+    ClassADevice,
+    ClassCDevice,
+    ModifiedClassC,
+    QueueBasedClassA,
+)
+
+
+class TestClassA:
+    def test_not_listening_before_any_uplink(self):
+        assert not ClassADevice().is_listening(10.0, -1.0, 0, 64, 10.0)
+
+    def test_listening_inside_rx1_window(self):
+        device = ClassADevice()
+        assert device.is_listening(now=101.2, last_uplink_end=100.0,
+                                   queue_length=0, max_queue=64, sink_metric_s=10.0)
+
+    def test_listening_inside_rx2_window(self):
+        device = ClassADevice()
+        assert device.is_listening(102.3, 100.0, 0, 64, 10.0)
+
+    def test_not_listening_between_windows(self):
+        device = ClassADevice()
+        assert not device.is_listening(101.8, 100.0, 0, 64, 10.0)
+
+    def test_not_listening_long_after_uplink(self):
+        assert not ClassADevice().is_listening(200.0, 100.0, 0, 64, 10.0)
+
+    def test_zero_listening_fraction(self):
+        assert ClassADevice().listening_fraction(10, 64, 5.0) == 0.0
+
+
+class TestClassC:
+    def test_always_listening(self):
+        device = ClassCDevice()
+        assert device.is_listening(0.0, -1.0, 0, 64, 10.0)
+        assert device.listening_fraction(0, 64, 10.0) == 1.0
+
+    def test_plain_class_c_does_not_overhear_devices(self):
+        assert not ClassCDevice().overhears_devices
+
+
+class TestModifiedClassC:
+    def test_always_listening_and_overhears(self):
+        device = ModifiedClassC()
+        assert device.is_listening(12345.0, -1.0, 5, 64, 100.0)
+        assert device.overhears_devices
+        assert device.listening_fraction(5, 64, 100.0) == 1.0
+
+
+class TestQueueBasedClassA:
+    def test_empty_queue_behaves_like_class_a(self):
+        device = QueueBasedClassA()
+        assert device.listening_fraction(0, 64, 10.0) == 0.0
+        assert not device.is_listening(500.0, 100.0, 0, 64, 10.0)
+
+    def test_full_queue_poor_gateway_listens_continuously(self):
+        device = QueueBasedClassA()
+        assert device.listening_fraction(64, 64, 1e6) == 1.0
+        assert device.is_listening(1e6, 100.0, 64, 64, 1e6)
+
+    def test_fractional_window_opens_right_after_uplink(self):
+        # A well-connected device (sink metric 0.2 s -> phi clamps at phi_max)
+        # with a small backlog gets a genuinely fractional window.
+        device = QueueBasedClassA(reference_interval_s=100.0)
+        fraction = device.listening_fraction(4, 64, 0.2)
+        assert 0.0 < fraction < 1.0
+        # Listening right after the uplink, closed once the window elapses.
+        assert device.is_listening(100.0 + fraction * 100.0 * 0.5, 100.0, 4, 64, 0.2)
+        assert not device.is_listening(100.0 + fraction * 100.0 + 50.0, 100.0, 4, 64, 0.2)
+
+    def test_window_grows_with_queue(self):
+        device = QueueBasedClassA()
+        assert device.listening_fraction(32, 64, 10.0) >= device.listening_fraction(4, 64, 10.0)
+
+    def test_overhears_devices(self):
+        assert QueueBasedClassA().overhears_devices

@@ -1,0 +1,65 @@
+"""Unit tests for the duty-cycle regulator."""
+
+import pytest
+
+from repro.mac.duty_cycle import DutyCycleRegulator
+
+
+class TestDutyCycleRegulator:
+    def test_initially_allowed(self):
+        assert DutyCycleRegulator(0.01).can_transmit(0.0)
+
+    def test_one_percent_off_time_is_99x_airtime(self):
+        regulator = DutyCycleRegulator(0.01)
+        next_allowed = regulator.record_transmission(now=0.0, airtime_s=1.0)
+        assert next_allowed == pytest.approx(100.0)
+        assert not regulator.can_transmit(50.0)
+        assert regulator.can_transmit(100.0)
+
+    def test_wait_time_counts_down(self):
+        regulator = DutyCycleRegulator(0.01)
+        regulator.record_transmission(0.0, 1.0)
+        assert regulator.wait_time(40.0) == pytest.approx(60.0)
+        assert regulator.wait_time(200.0) == 0.0
+
+    def test_transmission_during_off_time_rejected(self):
+        regulator = DutyCycleRegulator(0.01)
+        regulator.record_transmission(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regulator.record_transmission(10.0, 1.0)
+
+    def test_full_duty_cycle_never_blocks(self):
+        regulator = DutyCycleRegulator(1.0)
+        regulator.record_transmission(0.0, 1.0)
+        assert regulator.can_transmit(1.0)
+
+    def test_airtime_accumulates(self):
+        regulator = DutyCycleRegulator(0.5)
+        regulator.record_transmission(0.0, 1.0)
+        regulator.record_transmission(10.0, 2.0)
+        assert regulator.total_airtime_s == pytest.approx(3.0)
+        assert regulator.transmission_count == 2
+
+    def test_utilisation(self):
+        regulator = DutyCycleRegulator(0.5)
+        regulator.record_transmission(0.0, 1.0)
+        assert regulator.utilisation(100.0) == pytest.approx(0.01)
+
+    def test_long_run_airtime_respects_duty_cycle(self):
+        regulator = DutyCycleRegulator(0.01)
+        now = 0.0
+        airtime = 0.5
+        for _ in range(50):
+            now = max(now, regulator.next_allowed_time)
+            regulator.record_transmission(now, airtime)
+        horizon = regulator.next_allowed_time
+        assert regulator.utilisation(horizon) <= 0.01 + 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DutyCycleRegulator(0.0)
+        regulator = DutyCycleRegulator(0.01)
+        with pytest.raises(ValueError):
+            regulator.record_transmission(0.0, 0.0)
+        with pytest.raises(ValueError):
+            regulator.utilisation(0.0)

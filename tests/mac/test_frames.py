@@ -1,0 +1,108 @@
+"""Unit tests for messages, packets and acknowledgements."""
+
+import pytest
+
+from repro.mac.frames import (
+    Acknowledgement,
+    DataMessage,
+    PACKET_OVERHEAD_BYTES,
+    UplinkPacket,
+    bundle_messages,
+)
+
+
+class TestDataMessage:
+    def test_ids_are_unique(self):
+        a = DataMessage(source="bus-1", created_at=0.0)
+        b = DataMessage(source="bus-1", created_at=0.0)
+        assert a.message_id != b.message_id
+
+    def test_initial_carrier_is_source(self):
+        message = DataMessage(source="bus-1", created_at=0.0)
+        assert message.carried_by == "bus-1"
+        assert message.hops == 0
+        assert message.delivery_hop_count == 1
+
+    def test_handover_updates_carrier_and_hops(self):
+        message = DataMessage(source="bus-1", created_at=0.0)
+        message.handover("bus-2")
+        assert message.carried_by == "bus-2"
+        assert message.received_from == "bus-1"
+        assert message.hops == 1
+        assert message.delivery_hop_count == 2
+
+    def test_two_handover_chain(self):
+        message = DataMessage(source="bus-1", created_at=0.0)
+        message.handover("bus-2")
+        message.handover("bus-3")
+        assert message.received_from == "bus-2"
+        assert message.delivery_hop_count == 3
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            DataMessage(source="bus-1", created_at=-1.0)
+        with pytest.raises(ValueError):
+            DataMessage(source="bus-1", created_at=0.0, size_bytes=0)
+        message = DataMessage(source="bus-1", created_at=0.0)
+        with pytest.raises(ValueError):
+            message.handover("")
+
+
+class TestUplinkPacket:
+    def _messages(self, count):
+        return tuple(DataMessage(source="bus-1", created_at=0.0) for _ in range(count))
+
+    def test_payload_counts_overhead_and_messages(self):
+        packet = UplinkPacket(sender="bus-1", sent_at=0.0, messages=self._messages(3))
+        assert packet.payload_bytes == PACKET_OVERHEAD_BYTES + 3 * 20
+
+    def test_metric_fields_add_bytes(self):
+        bare = UplinkPacket(sender="bus-1", sent_at=0.0, messages=self._messages(1))
+        with_metrics = UplinkPacket(
+            sender="bus-1", sent_at=0.0, messages=self._messages(1),
+            rca_etx_s=12.0, queue_length=4,
+        )
+        assert with_metrics.payload_bytes == bare.payload_bytes + 8
+
+    def test_message_ids_and_len(self):
+        messages = self._messages(2)
+        packet = UplinkPacket(sender="bus-1", sent_at=0.0, messages=messages)
+        assert len(packet) == 2
+        assert packet.message_ids == tuple(m.message_id for m in messages)
+
+    def test_handover_packet_requires_destination(self):
+        with pytest.raises(ValueError):
+            UplinkPacket(
+                sender="bus-1", sent_at=0.0, messages=self._messages(1), is_handover=True
+            )
+
+    def test_empty_sender_rejected(self):
+        with pytest.raises(ValueError):
+            UplinkPacket(sender="", sent_at=0.0, messages=())
+
+
+class TestBundling:
+    def test_bundle_respects_limit(self):
+        messages = [DataMessage(source="b", created_at=float(i)) for i in range(20)]
+        assert len(bundle_messages(messages, limit=12)) == 12
+
+    def test_bundle_keeps_fifo_order(self):
+        messages = [DataMessage(source="b", created_at=float(i)) for i in range(5)]
+        bundled = bundle_messages(messages, limit=3)
+        assert bundled == messages[:3]
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            bundle_messages([], limit=0)
+
+
+class TestAcknowledgement:
+    def test_valid_acknowledgement(self):
+        ack = Acknowledgement("gw-1", "bus-1", (1, 2, 3), 10.0)
+        assert ack.acked_message_ids == (1, 2, 3)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Acknowledgement("", "bus-1", (), 0.0)
+        with pytest.raises(ValueError):
+            Acknowledgement("gw-1", "bus-1", (), -1.0)

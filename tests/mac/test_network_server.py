@@ -1,0 +1,77 @@
+"""Unit tests for the gateway and network server."""
+
+import pytest
+
+from repro.mac.frames import DataMessage, UplinkPacket
+from repro.mac.gateway import Gateway
+from repro.mac.network_server import NetworkServer
+from repro.mobility.geometry import Point
+
+
+def _packet(sender="bus-1", count=2, sent_at=10.0):
+    messages = tuple(DataMessage(source=sender, created_at=1.0) for _ in range(count))
+    return UplinkPacket(sender=sender, sent_at=sent_at, messages=messages)
+
+
+class TestGateway:
+    def test_receive_updates_counters(self):
+        gateway = Gateway("gw-1", Point(0, 0))
+        gateway.receive(_packet(count=3))
+        gateway.receive(_packet(sender="bus-2", count=1))
+        assert gateway.frames_received == 2
+        assert gateway.messages_received == 4
+        assert gateway.distinct_devices_heard == 2
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Gateway("", Point(0, 0))
+
+
+class TestNetworkServer:
+    def test_process_uplink_records_deliveries(self):
+        server = NetworkServer()
+        packet = _packet(count=2, sent_at=30.0)
+        ack = server.process_uplink(packet, "gw-1", now=30.0)
+        assert server.delivered_count == 2
+        assert set(ack.acked_message_ids) == set(packet.message_ids)
+        assert server.frames_processed == 1
+
+    def test_duplicates_acknowledged_but_not_recounted(self):
+        server = NetworkServer()
+        packet = _packet(count=2)
+        server.process_uplink(packet, "gw-1", now=10.0)
+        ack = server.process_uplink(packet, "gw-2", now=11.0)
+        assert server.delivered_count == 2
+        assert server.duplicate_messages == 2
+        assert len(ack.acked_message_ids) == 2
+
+    def test_delay_uses_creation_and_delivery_times(self):
+        server = NetworkServer()
+        message = DataMessage(source="bus-1", created_at=5.0)
+        packet = UplinkPacket(sender="bus-1", sent_at=47.0, messages=(message,))
+        server.process_uplink(packet, "gw-1", now=47.0)
+        assert server.delays() == [pytest.approx(42.0)]
+
+    def test_hop_count_reflects_handovers(self):
+        server = NetworkServer()
+        message = DataMessage(source="bus-1", created_at=0.0)
+        message.handover("bus-2")
+        packet = UplinkPacket(sender="bus-2", sent_at=10.0, messages=(message,))
+        server.process_uplink(packet, "gw-1", now=10.0)
+        record = server.deliveries[0]
+        assert record.delivery_hop_count == 2
+        assert record.carrier == "bus-2"
+        assert record.source == "bus-1"
+
+    def test_is_delivered_and_lookup(self):
+        server = NetworkServer()
+        packet = _packet(count=1)
+        server.process_uplink(packet, "gw-1", now=10.0)
+        message_id = packet.message_ids[0]
+        assert server.is_delivered(message_id)
+        assert server.delivery(message_id).gateway_id == "gw-1"
+        assert server.delivery(123456789) is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkServer().process_uplink(_packet(), "gw-1", now=-1.0)

@@ -1,0 +1,80 @@
+"""Unit tests for the FIFO data queue."""
+
+import pytest
+
+from repro.mac.frames import DataMessage
+from repro.mac.queueing import DataQueue
+
+
+def _message(i=0):
+    return DataMessage(source=f"bus-{i}", created_at=float(i))
+
+
+class TestDataQueue:
+    def test_push_and_len(self):
+        queue = DataQueue()
+        queue.push(_message())
+        queue.push(_message())
+        assert len(queue) == 2
+
+    def test_duplicate_message_rejected(self):
+        queue = DataQueue()
+        message = _message()
+        assert queue.push(message)
+        assert not queue.push(message)
+        assert len(queue) == 1
+
+    def test_capacity_enforced_and_drops_counted(self):
+        queue = DataQueue(max_size=2)
+        assert queue.push(_message(1))
+        assert queue.push(_message(2))
+        assert not queue.push(_message(3))
+        assert queue.dropped == 1
+        assert queue.is_full
+
+    def test_peek_preserves_fifo_order_without_removal(self):
+        queue = DataQueue()
+        messages = [_message(i) for i in range(5)]
+        queue.extend(messages)
+        assert queue.peek(3) == messages[:3]
+        assert len(queue) == 5
+
+    def test_pop_front_removes_in_order(self):
+        queue = DataQueue()
+        messages = [_message(i) for i in range(4)]
+        queue.extend(messages)
+        popped = queue.pop_front(2)
+        assert popped == messages[:2]
+        assert queue.peek_all() == messages[2:]
+
+    def test_remove_by_id(self):
+        queue = DataQueue()
+        messages = [_message(i) for i in range(3)]
+        queue.extend(messages)
+        removed = queue.remove([messages[1].message_id, 999_999])
+        assert removed == [messages[1]]
+        assert len(queue) == 2
+
+    def test_contains_by_id(self):
+        queue = DataQueue()
+        message = _message()
+        queue.push(message)
+        assert message.message_id in queue
+        assert -1 not in queue
+
+    def test_clear_returns_everything(self):
+        queue = DataQueue()
+        queue.extend(_message(i) for i in range(3))
+        assert len(queue.clear()) == 3
+        assert len(queue) == 0
+
+    def test_extend_reports_accepted_count(self):
+        queue = DataQueue(max_size=2)
+        accepted = queue.extend(_message(i) for i in range(5))
+        assert accepted == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DataQueue(max_size=0)
+        with pytest.raises(ValueError):
+            DataQueue().peek(-1)

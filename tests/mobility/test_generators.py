@@ -1,0 +1,66 @@
+"""Unit tests for the simple mobility models."""
+
+import pytest
+
+from repro.mobility.generators import RandomWaypointMobility, StaticMobility
+from repro.mobility.geometry import BoundingBox, Point
+
+
+class TestStaticMobility:
+    def test_one_trace_per_position(self):
+        traces = StaticMobility([Point(0, 0), Point(1, 1)]).traces()
+        assert len(traces) == 2
+        assert traces[0].position_at(1e6) == Point(0, 0)
+
+    def test_finite_window(self):
+        traces = StaticMobility([Point(0, 0)], start=10.0, end=20.0).traces()
+        assert traces[0].position_at(5.0) is None
+        assert traces[0].position_at(15.0) == Point(0, 0)
+
+
+class TestRandomWaypointMobility:
+    def _model(self, **overrides):
+        defaults = dict(
+            bounding_box=BoundingBox.square(1000.0),
+            num_nodes=5,
+            duration_s=600.0,
+            min_speed_mps=2.0,
+            max_speed_mps=8.0,
+        )
+        defaults.update(overrides)
+        return RandomWaypointMobility(**defaults)
+
+    def test_one_trace_per_node(self, rng):
+        assert len(self._model().traces(rng)) == 5
+
+    def test_traces_cover_requested_duration(self, rng):
+        for trace in self._model().traces(rng):
+            assert trace.end_time >= 600.0
+
+    def test_positions_stay_inside_box(self, rng):
+        box = BoundingBox.square(1000.0)
+        for trace in self._model().traces(rng):
+            for time in range(0, 600, 50):
+                position = trace.position_at(float(time))
+                assert position is not None and box.contains(position)
+
+    def test_speeds_within_bounds(self, rng):
+        for trace in self._model(pause_s=0.0).traces(rng):
+            assert 2.0 * 0.9 <= trace.average_speed() <= 8.0 * 1.1
+
+    def test_deterministic_for_same_rng_seed(self):
+        import numpy as np
+
+        a = self._model().traces(np.random.default_rng(3))
+        b = self._model().traces(np.random.default_rng(3))
+        assert a[0].points == b[0].points
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            self._model(num_nodes=0)
+        with pytest.raises(ValueError):
+            self._model(duration_s=0.0)
+        with pytest.raises(ValueError):
+            self._model(min_speed_mps=5.0, max_speed_mps=1.0)
+        with pytest.raises(ValueError):
+            self._model(pause_s=-1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.mobility.geometry import BoundingBox, Point, grid_positions, mph_to_mps
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_interpolate_midpoint(self):
+        mid = Point(0, 0).interpolate(Point(10, 20), 0.5)
+        assert (mid.x, mid.y) == (5.0, 10.0)
+
+    def test_interpolate_clamps_fraction(self):
+        assert Point(0, 0).interpolate(Point(10, 0), 2.0) == Point(10, 0)
+        assert Point(0, 0).interpolate(Point(10, 0), -1.0) == Point(0, 0)
+
+    def test_translate(self):
+        assert Point(1, 2).translate(3, -1) == Point(4, 1)
+
+
+class TestBoundingBox:
+    def test_from_area(self):
+        box = BoundingBox.from_area_km2(600.0)
+        assert box.area_km2 == pytest.approx(600.0)
+        assert box.width == pytest.approx(math.sqrt(600.0) * 1000.0)
+
+    def test_contains_and_clamp(self):
+        box = BoundingBox.square(100.0)
+        assert box.contains(Point(50, 50))
+        assert not box.contains(Point(150, 50))
+        assert box.clamp(Point(150, -20)) == Point(100, 0)
+
+    def test_center(self):
+        assert BoundingBox.square(100.0).center == Point(50, 50)
+
+    def test_invalid_boxes_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, -1, 10)
+        with pytest.raises(ValueError):
+            BoundingBox.square(0.0)
+        with pytest.raises(ValueError):
+            BoundingBox.from_area_km2(-5.0)
+
+
+class TestGridPositions:
+    def test_exact_count_returned(self):
+        box = BoundingBox.square(1000.0)
+        for count in (1, 4, 5, 7, 40, 100):
+            assert len(grid_positions(box, count)) == count
+
+    def test_all_points_inside_box(self):
+        box = BoundingBox.square(5000.0)
+        assert all(box.contains(p) for p in grid_positions(box, 60))
+
+    def test_square_count_forms_regular_grid(self):
+        box = BoundingBox.square(100.0)
+        points = grid_positions(box, 4)
+        xs = sorted({p.x for p in points})
+        ys = sorted({p.y for p in points})
+        assert xs == [25.0, 75.0]
+        assert ys == [25.0, 75.0]
+
+    def test_points_are_distinct(self):
+        box = BoundingBox.square(1000.0)
+        points = grid_positions(box, 30)
+        assert len({(p.x, p.y) for p in points}) == 30
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            grid_positions(BoundingBox.square(10.0), 0)
+
+
+class TestUnits:
+    def test_mph_conversion(self):
+        assert mph_to_mps(23.1) == pytest.approx(10.33, abs=0.01)
+        assert mph_to_mps(0.0) == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic London bus-network generator (Fig. 7 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.london import DAY_SECONDS, LondonBusNetworkConfig, LondonBusNetworkGenerator
+
+
+@pytest.fixture
+def small_config():
+    return LondonBusNetworkConfig(
+        area_km2=60.0,
+        num_routes=10,
+        trips_per_route=6,
+        stops_per_route=8,
+        min_repeats=2,
+        max_repeats=4,
+    )
+
+
+@pytest.fixture
+def generator(small_config, rng):
+    return LondonBusNetworkGenerator(small_config, rng)
+
+
+class TestRouteGeneration:
+    def test_number_of_routes(self, generator, small_config):
+        assert len(generator.generate_routes()) == small_config.num_routes
+
+    def test_mix_of_radial_and_orbital_routes(self, generator):
+        route_ids = [r.route_id for r in generator.generate_routes()]
+        assert any(route_id.startswith("radial") for route_id in route_ids)
+        assert any(route_id.startswith("orbital") for route_id in route_ids)
+
+    def test_all_stops_inside_service_area(self, generator):
+        box = generator.bounding_box
+        for route in generator.generate_routes():
+            assert all(box.contains(stop) for stop in route.stops)
+
+    def test_radial_routes_start_near_centre(self, generator):
+        centre = generator.bounding_box.center
+        radials = [r for r in generator.generate_routes() if r.route_id.startswith("radial")]
+        for route in radials:
+            assert route.stops[0].distance_to(centre) < generator.bounding_box.width * 0.05
+
+
+class TestTimetableGeneration:
+    def test_trip_count(self, generator, small_config):
+        timetable = generator.generate()
+        assert len(timetable) == small_config.num_routes * small_config.trips_per_route
+
+    def test_speeds_within_configured_range(self, generator, small_config):
+        from repro.mobility.geometry import mph_to_mps
+
+        timetable = generator.generate()
+        low = mph_to_mps(small_config.min_speed_mph)
+        high = mph_to_mps(small_config.max_speed_mph)
+        assert all(low <= trip.speed_mps <= high for trip in timetable.trips)
+
+    def test_start_times_within_horizon(self, generator, small_config):
+        timetable = generator.generate()
+        assert all(0 <= trip.start_time < small_config.horizon_s for trip in timetable.trips)
+
+    def test_repeats_within_configured_range(self, generator, small_config):
+        timetable = generator.generate()
+        assert all(
+            small_config.min_repeats <= trip.repeats <= small_config.max_repeats
+            for trip in timetable.trips
+        )
+
+    def test_generation_is_deterministic_for_same_seed(self, small_config):
+        a = LondonBusNetworkGenerator(small_config, np.random.default_rng(5)).generate()
+        b = LondonBusNetworkGenerator(small_config, np.random.default_rng(5)).generate()
+        assert [t.start_time for t in a.trips] == [t.start_time for t in b.trips]
+
+
+class TestDiurnalShape:
+    def test_daytime_has_more_active_buses_than_night(self, rng):
+        config = LondonBusNetworkConfig(
+            area_km2=60.0, num_routes=12, trips_per_route=10, min_repeats=2, max_repeats=4
+        )
+        timetable = LondonBusNetworkGenerator(config, rng).generate()
+        profile = timetable.active_bus_profile(1800.0, DAY_SECONDS)
+        night = np.mean(profile[2:8])      # 01:00-04:00
+        midday = np.mean(profile[22:30])   # 11:00-15:00
+        assert midday > night
+
+    def test_active_durations_are_spread_out(self, generator):
+        durations = generator.generate().active_durations()
+        assert max(durations) > 2.0 * min(durations)
+
+
+class TestConfigValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            LondonBusNetworkConfig(area_km2=0.0)
+        with pytest.raises(ValueError):
+            LondonBusNetworkConfig(num_routes=0)
+        with pytest.raises(ValueError):
+            LondonBusNetworkConfig(min_speed_mph=10.0, max_speed_mph=5.0)
+        with pytest.raises(ValueError):
+            LondonBusNetworkConfig(min_repeats=5, max_repeats=2)
+        with pytest.raises(ValueError):
+            LondonBusNetworkConfig(day_start_s=10.0, day_end_s=5.0)

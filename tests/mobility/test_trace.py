@@ -1,0 +1,81 @@
+"""Unit tests for mobility traces."""
+
+import pytest
+
+from repro.mobility.geometry import Point
+from repro.mobility.trace import MobilityTrace, TracePoint, active_count_at
+
+
+class TestMobilityTrace:
+    def _trace(self):
+        return MobilityTrace(
+            [
+                TracePoint(0.0, Point(0, 0)),
+                TracePoint(100.0, Point(100, 0)),
+                TracePoint(200.0, Point(100, 100)),
+            ],
+            node_id="bus",
+        )
+
+    def test_interpolates_between_samples(self):
+        trace = self._trace()
+        assert trace.position_at(50.0) == Point(50, 0)
+        assert trace.position_at(150.0) == Point(100, 50)
+
+    def test_exact_sample_times(self):
+        trace = self._trace()
+        assert trace.position_at(0.0) == Point(0, 0)
+        assert trace.position_at(200.0) == Point(100, 100)
+
+    def test_outside_active_window_returns_none(self):
+        trace = self._trace()
+        assert trace.position_at(-1.0) is None
+        assert trace.position_at(201.0) is None
+
+    def test_is_active(self):
+        trace = self._trace()
+        assert trace.is_active(100.0)
+        assert not trace.is_active(500.0)
+
+    def test_total_distance_and_speed(self):
+        trace = self._trace()
+        assert trace.total_distance() == pytest.approx(200.0)
+        assert trace.average_speed() == pytest.approx(1.0)
+
+    def test_points_sorted_even_if_given_unsorted(self):
+        trace = MobilityTrace(
+            [TracePoint(100.0, Point(1, 1)), TracePoint(0.0, Point(0, 0))]
+        )
+        assert trace.start_time == 0.0
+        assert trace.end_time == 100.0
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace([TracePoint(1.0, Point(0, 0)), TracePoint(1.0, Point(1, 1))])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace([])
+
+    def test_static_trace_with_finite_window(self):
+        trace = MobilityTrace.static(Point(5, 5), start=10.0, end=20.0)
+        assert trace.position_at(15.0) == Point(5, 5)
+        assert trace.position_at(25.0) is None
+
+    def test_static_trace_open_ended(self):
+        trace = MobilityTrace.static(Point(5, 5))
+        assert trace.is_active(1e9)
+        assert trace.position_at(1e9) == Point(5, 5)
+
+    def test_static_trace_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace.static(Point(0, 0), start=10.0, end=5.0)
+
+
+class TestActiveCount:
+    def test_counts_active_traces_at_time(self):
+        a = MobilityTrace.static(Point(0, 0), start=0.0, end=100.0)
+        b = MobilityTrace.static(Point(1, 1), start=50.0, end=150.0)
+        assert active_count_at([a, b], 25.0) == 1
+        assert active_count_at([a, b], 75.0) == 2
+        assert active_count_at([a, b], 140.0) == 1

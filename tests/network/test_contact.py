@@ -1,0 +1,85 @@
+"""Unit tests for contact extraction."""
+
+import pytest
+
+from repro.mobility.geometry import Point
+from repro.mobility.trace import MobilityTrace, TracePoint
+from repro.network.contact import (
+    ContactInterval,
+    extract_contacts,
+    extract_sink_contacts,
+    inter_contact_times,
+    total_contact_time,
+)
+
+
+def _linear_trace(node_id, start_xy, end_xy, duration):
+    return MobilityTrace(
+        [TracePoint(0.0, Point(*start_xy)), TracePoint(duration, Point(*end_xy))],
+        node_id=node_id,
+    )
+
+
+class TestContactInterval:
+    def test_duration_and_contains(self):
+        interval = ContactInterval("a", "b", 10.0, 30.0)
+        assert interval.duration == 20.0
+        assert interval.contains(20.0)
+        assert not interval.contains(31.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ContactInterval("a", "b", 10.0, 5.0)
+
+
+class TestExtractContacts:
+    def test_static_nodes_in_range_single_full_contact(self):
+        a = MobilityTrace.static(Point(0, 0), start=0.0, end=100.0, node_id="a")
+        b = MobilityTrace.static(Point(50, 0), start=0.0, end=100.0, node_id="b")
+        contacts = extract_contacts(a, b, range_m=100.0, step_s=10.0)
+        assert len(contacts) == 1
+        assert contacts[0].start == 0.0
+        assert contacts[0].end == pytest.approx(100.0)
+
+    def test_static_nodes_out_of_range_no_contact(self):
+        a = MobilityTrace.static(Point(0, 0), start=0.0, end=100.0)
+        b = MobilityTrace.static(Point(500, 0), start=0.0, end=100.0)
+        assert extract_contacts(a, b, range_m=100.0) == []
+
+    def test_drive_by_creates_single_bounded_contact(self):
+        mover = _linear_trace("m", (-1000, 0), (1000, 0), duration=2000.0)
+        static = MobilityTrace.static(Point(0, 0), start=0.0, end=2000.0, node_id="s")
+        contacts = extract_contacts(mover, static, range_m=200.0, step_s=10.0)
+        assert len(contacts) == 1
+        # In range roughly between x=-200 and x=+200, i.e. t in [800, 1200].
+        assert contacts[0].start == pytest.approx(800.0, abs=20.0)
+        assert contacts[0].end == pytest.approx(1200.0, abs=20.0)
+
+    def test_invalid_parameters_rejected(self):
+        a = MobilityTrace.static(Point(0, 0), end=10.0)
+        b = MobilityTrace.static(Point(1, 0), end=10.0)
+        with pytest.raises(ValueError):
+            extract_contacts(a, b, range_m=0.0)
+
+
+class TestExtractSinkContacts:
+    def test_contact_with_any_gateway_counts(self):
+        mover = _linear_trace("m", (0, 0), (4000, 0), duration=4000.0)
+        sinks = [Point(1000, 0), Point(3000, 0)]
+        contacts = extract_sink_contacts(mover, sinks, range_m=300.0, step_s=10.0)
+        assert len(contacts) == 2
+
+    def test_no_sinks_means_no_contacts(self):
+        mover = _linear_trace("m", (0, 0), (100, 0), duration=100.0)
+        assert extract_sink_contacts(mover, [], range_m=100.0) == []
+
+
+class TestAggregates:
+    def test_total_contact_time(self):
+        contacts = [ContactInterval("a", "b", 0, 10), ContactInterval("a", "b", 20, 25)]
+        assert total_contact_time(contacts) == 15.0
+
+    def test_inter_contact_times(self):
+        contacts = [ContactInterval("a", "b", 0, 10), ContactInterval("a", "b", 30, 40),
+                    ContactInterval("a", "b", 100, 110)]
+        assert inter_contact_times(contacts) == [20.0, 60.0]

@@ -1,0 +1,39 @@
+"""Unit tests for device and sink nodes."""
+
+import pytest
+
+from repro.mobility.geometry import Point
+from repro.mobility.trace import MobilityTrace
+from repro.network.node import DeviceNode, NodeKind, SinkNode
+
+
+class TestDeviceNode:
+    def test_position_follows_trace(self):
+        trace = MobilityTrace.static(Point(3, 4), start=0.0, end=100.0)
+        node = DeviceNode("bus-1", trace)
+        assert node.kind is NodeKind.DEVICE
+        assert node.position_at(50.0) == Point(3, 4)
+        assert node.position_at(200.0) is None
+
+    def test_is_active_mirrors_trace(self):
+        trace = MobilityTrace.static(Point(0, 0), start=10.0, end=20.0)
+        node = DeviceNode("bus-1", trace)
+        assert node.is_active(15.0)
+        assert not node.is_active(25.0)
+
+    def test_empty_id_rejected(self):
+        trace = MobilityTrace.static(Point(0, 0))
+        with pytest.raises(ValueError):
+            DeviceNode("", trace)
+
+
+class TestSinkNode:
+    def test_static_position_and_always_active(self):
+        sink = SinkNode("gw-1", Point(7, 8))
+        assert sink.kind is NodeKind.SINK
+        assert sink.position_at(1e9) == Point(7, 8)
+        assert sink.is_active(1e9)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SinkNode("", Point(0, 0))

@@ -1,0 +1,84 @@
+"""Unit tests for the LoRa time-on-air calculator."""
+
+import pytest
+
+from repro.phy.airtime import AirtimeCalculator, LoRaTransmissionParameters
+from repro.phy.constants import SpreadingFactor
+
+
+class TestSymbolTime:
+    def test_sf7_symbol_time(self):
+        calc = AirtimeCalculator(LoRaTransmissionParameters(SpreadingFactor.SF7))
+        assert calc.symbol_time_s == pytest.approx(1.024e-3, rel=1e-6)
+
+    def test_sf12_symbol_time(self):
+        calc = AirtimeCalculator(LoRaTransmissionParameters(SpreadingFactor.SF12))
+        assert calc.symbol_time_s == pytest.approx(32.768e-3, rel=1e-6)
+
+
+class TestTimeOnAir:
+    def test_known_sf7_airtime_for_20_byte_payload(self):
+        # Semtech AN1200.13: SF7/125 kHz/CR 4-5, 20-byte payload, 8-symbol
+        # preamble, explicit header, CRC on -> 43 payload symbols plus the
+        # 12.544 ms preamble = ~56.6 ms.
+        calc = AirtimeCalculator(LoRaTransmissionParameters(SpreadingFactor.SF7))
+        assert calc.time_on_air_s(20) == pytest.approx(0.0566, abs=0.002)
+
+    def test_known_sf12_airtime_for_20_byte_payload(self):
+        calc = AirtimeCalculator(
+            LoRaTransmissionParameters(SpreadingFactor.SF12, low_data_rate_optimize=True)
+        )
+        # ~1.32 s for SF12 with low-data-rate optimisation enabled.
+        assert calc.time_on_air_s(20) == pytest.approx(1.32, abs=0.05)
+
+    def test_airtime_increases_with_payload(self):
+        calc = AirtimeCalculator()
+        assert calc.time_on_air_s(200) > calc.time_on_air_s(50) > calc.time_on_air_s(10)
+
+    def test_airtime_increases_with_spreading_factor(self):
+        airtimes = [
+            AirtimeCalculator(LoRaTransmissionParameters(sf)).time_on_air_s(50)
+            for sf in SpreadingFactor
+        ]
+        assert airtimes == sorted(airtimes)
+
+    def test_zero_payload_still_has_preamble_and_header(self):
+        calc = AirtimeCalculator()
+        assert calc.time_on_air_s(0) > calc.preamble_time_s()
+
+    def test_payload_above_255_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            AirtimeCalculator().time_on_air_s(256)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            AirtimeCalculator().time_on_air_s(-1)
+
+
+class TestDutyCycleWait:
+    def test_one_percent_duty_cycle_waits_99x_airtime(self):
+        calc = AirtimeCalculator()
+        airtime = calc.time_on_air_s(50)
+        assert calc.duty_cycle_wait_s(50, 0.01) == pytest.approx(airtime * 99.0)
+
+    def test_full_duty_cycle_means_no_wait(self):
+        calc = AirtimeCalculator()
+        assert calc.duty_cycle_wait_s(50, 1.0) == pytest.approx(0.0)
+
+    def test_invalid_duty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            AirtimeCalculator().duty_cycle_wait_s(50, 0.0)
+
+
+class TestParametersValidation:
+    def test_invalid_coding_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LoRaTransmissionParameters(coding_rate=0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            LoRaTransmissionParameters(bandwidth_hz=-1)
+
+    def test_negative_preamble_rejected(self):
+        with pytest.raises(ValueError):
+            LoRaTransmissionParameters(preamble_symbols=-1)

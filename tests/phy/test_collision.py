@@ -1,0 +1,119 @@
+"""Unit tests for the collision/capture model."""
+
+import pytest
+
+from repro.phy.collision import CollisionModel, Transmission
+from repro.phy.constants import SpreadingFactor
+
+
+def _tx(sender, start, duration, rssi, channel=0, sf=SpreadingFactor.SF7):
+    return Transmission(
+        sender=sender,
+        start_time=start,
+        duration=duration,
+        channel=channel,
+        spreading_factor=sf,
+        rssi_by_receiver=dict(rssi),
+    )
+
+
+class TestTransmission:
+    def test_end_time(self):
+        assert _tx("a", 10.0, 2.0, {}).end_time == 12.0
+
+    def test_overlap_in_time_same_channel(self):
+        a = _tx("a", 0.0, 2.0, {})
+        b = _tx("b", 1.0, 2.0, {})
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_no_overlap_when_disjoint_in_time(self):
+        a = _tx("a", 0.0, 1.0, {})
+        b = _tx("b", 2.0, 1.0, {})
+        assert not a.overlaps(b)
+
+    def test_back_to_back_frames_do_not_overlap(self):
+        a = _tx("a", 0.0, 1.0, {})
+        b = _tx("b", 1.0, 1.0, {})
+        assert not a.overlaps(b)
+
+    def test_different_channels_do_not_overlap(self):
+        a = _tx("a", 0.0, 2.0, {}, channel=0)
+        b = _tx("b", 0.0, 2.0, {}, channel=1)
+        assert not a.overlaps(b)
+
+    def test_different_spreading_factors_are_orthogonal(self):
+        a = _tx("a", 0.0, 2.0, {}, sf=SpreadingFactor.SF7)
+        b = _tx("b", 0.0, 2.0, {}, sf=SpreadingFactor.SF8)
+        assert not a.overlaps(b)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            _tx("a", 0.0, 0.0, {})
+
+
+class TestCollisionModel:
+    def test_lone_transmission_received_when_heard(self):
+        model = CollisionModel()
+        tx = _tx("a", 0.0, 1.0, {"gw": -100.0})
+        model.add(tx)
+        assert model.is_received(tx, "gw")
+
+    def test_unheard_receiver_not_received(self):
+        model = CollisionModel()
+        tx = _tx("a", 0.0, 1.0, {"gw": -100.0})
+        model.add(tx)
+        assert not model.is_received(tx, "other-gw")
+
+    def test_collision_without_capture_destroys_both(self):
+        model = CollisionModel(capture_threshold_db=6.0)
+        a = _tx("a", 0.0, 1.0, {"gw": -100.0})
+        b = _tx("b", 0.5, 1.0, {"gw": -101.0})
+        model.add(a)
+        model.add(b)
+        assert not model.is_received(a, "gw")
+        assert not model.is_received(b, "gw")
+
+    def test_stronger_frame_captures(self):
+        model = CollisionModel(capture_threshold_db=6.0)
+        strong = _tx("a", 0.0, 1.0, {"gw": -90.0})
+        weak = _tx("b", 0.5, 1.0, {"gw": -100.0})
+        model.add(strong)
+        model.add(weak)
+        assert model.is_received(strong, "gw")
+        assert not model.is_received(weak, "gw")
+
+    def test_collision_is_resolved_per_receiver(self):
+        model = CollisionModel()
+        a = _tx("a", 0.0, 1.0, {"gw1": -90.0, "gw2": -100.0})
+        b = _tx("b", 0.2, 1.0, {"gw2": -95.0})
+        model.add(a)
+        model.add(b)
+        # gw1 never hears b, so a survives there; at gw2 the margin is < 6 dB.
+        assert model.is_received(a, "gw1")
+        assert not model.is_received(a, "gw2")
+
+    def test_interferer_that_is_not_heard_does_not_collide(self):
+        model = CollisionModel()
+        a = _tx("a", 0.0, 1.0, {"gw": -90.0})
+        b = _tx("b", 0.2, 1.0, {"other": -95.0})
+        model.add(a)
+        model.add(b)
+        assert model.is_received(a, "gw")
+
+    def test_expire_drops_old_transmissions(self):
+        model = CollisionModel()
+        model.add(_tx("a", 0.0, 1.0, {"gw": -90.0}))
+        model.add(_tx("b", 5.0, 1.0, {"gw": -90.0}))
+        model.expire(3.0)
+        assert len(model.active_transmissions) == 1
+
+    def test_survivors_filters_by_receiver(self):
+        model = CollisionModel()
+        a = _tx("a", 0.0, 1.0, {"gw": -90.0})
+        model.add(a)
+        assert model.survivors("gw") == [a]
+        assert model.survivors("nobody") == []
+
+    def test_negative_capture_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CollisionModel(capture_threshold_db=-1.0)

@@ -1,0 +1,63 @@
+"""Unit tests for LoRa PHY constants and bitrates."""
+
+import pytest
+
+from repro.phy.constants import (
+    EU868_DUTY_CYCLE,
+    SENSITIVITY_DBM,
+    SNR_THRESHOLD_DB,
+    SpreadingFactor,
+    bitrate_bps,
+    effective_bitrate_bps,
+)
+
+
+class TestBitrate:
+    def test_sf7_raw_bitrate_matches_reference(self):
+        # SF7 / 125 kHz / CR 4/5 is ~5.47 kbit/s (Semtech reference tables).
+        assert bitrate_bps(SpreadingFactor.SF7) == pytest.approx(5468.75, rel=1e-3)
+
+    def test_sf12_raw_bitrate_matches_reference(self):
+        # SF12 / 125 kHz / CR 4/5 is ~293 bit/s.
+        assert bitrate_bps(SpreadingFactor.SF12) == pytest.approx(292.97, rel=1e-3)
+
+    def test_bitrate_decreases_with_spreading_factor(self):
+        rates = [bitrate_bps(sf) for sf in SpreadingFactor]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_effective_bitrate_applies_duty_cycle(self):
+        raw = bitrate_bps(SpreadingFactor.SF12)
+        effective = effective_bitrate_bps(SpreadingFactor.SF12)
+        assert effective == pytest.approx(raw * EU868_DUTY_CYCLE)
+
+    def test_sf12_effective_rate_matches_paper_figure(self):
+        # Sec. III-B quotes ~2.5 bit/s for SF12/125 kHz at 1 % duty cycle.
+        assert effective_bitrate_bps(SpreadingFactor.SF12) == pytest.approx(2.9, abs=0.5)
+
+    def test_invalid_coding_rate_rejected(self):
+        with pytest.raises(ValueError):
+            bitrate_bps(SpreadingFactor.SF7, coding_rate=5)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            bitrate_bps(SpreadingFactor.SF7, bandwidth_hz=0)
+
+    def test_invalid_duty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            effective_bitrate_bps(SpreadingFactor.SF7, duty_cycle=0.0)
+
+
+class TestTables:
+    def test_sensitivity_defined_for_all_spreading_factors(self):
+        assert set(SENSITIVITY_DBM) == set(SpreadingFactor)
+
+    def test_snr_threshold_defined_for_all_spreading_factors(self):
+        assert set(SNR_THRESHOLD_DB) == set(SpreadingFactor)
+
+    def test_sensitivity_improves_with_higher_spreading_factor(self):
+        values = [SENSITIVITY_DBM[sf] for sf in SpreadingFactor]
+        assert values == sorted(values, reverse=True)
+
+    def test_snr_threshold_drops_with_higher_spreading_factor(self):
+        values = [SNR_THRESHOLD_DB[sf] for sf in SpreadingFactor]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,77 @@
+"""Unit tests for the RSSI→capacity mapping (Eq. 5) and link quality."""
+
+import pytest
+
+from repro.phy.constants import SpreadingFactor, bitrate_bps
+from repro.phy.link import LinkCapacityModel, LinkQualityEstimator
+
+
+class TestLinkCapacityModel:
+    def test_below_minimum_rssi_capacity_is_zero(self):
+        model = LinkCapacityModel(max_capacity_bps=100.0, rssi_min_dbm=-120, rssi_max_dbm=-80)
+        assert model.capacity_bps(-121.0) == 0.0
+
+    def test_above_maximum_rssi_capacity_is_max(self):
+        model = LinkCapacityModel(max_capacity_bps=100.0, rssi_min_dbm=-120, rssi_max_dbm=-80)
+        assert model.capacity_bps(-70.0) == 100.0
+
+    def test_midpoint_rssi_gives_half_capacity(self):
+        model = LinkCapacityModel(max_capacity_bps=100.0, rssi_min_dbm=-120, rssi_max_dbm=-80)
+        assert model.capacity_bps(-100.0) == pytest.approx(50.0)
+
+    def test_capacity_monotone_in_rssi(self):
+        model = LinkCapacityModel(max_capacity_bps=100.0, rssi_min_dbm=-120, rssi_max_dbm=-80)
+        values = [model.capacity_bps(r) for r in range(-130, -60, 5)]
+        assert values == sorted(values)
+
+    def test_is_connected_matches_positive_capacity(self):
+        model = LinkCapacityModel(max_capacity_bps=100.0, rssi_min_dbm=-120, rssi_max_dbm=-80)
+        assert not model.is_connected(-125.0)
+        assert model.is_connected(-100.0)
+
+    def test_for_spreading_factor_uses_duty_cycled_bitrate(self):
+        model = LinkCapacityModel.for_spreading_factor(SpreadingFactor.SF7, duty_cycle=0.01)
+        assert model.max_capacity_bps == pytest.approx(bitrate_bps(SpreadingFactor.SF7) * 0.01)
+
+    def test_for_spreading_factor_floor_is_sensitivity(self):
+        model = LinkCapacityModel.for_spreading_factor(SpreadingFactor.SF9)
+        assert model.capacity_bps(-130.0) == 0.0
+        assert model.capacity_bps(-128.0) > 0.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LinkCapacityModel(max_capacity_bps=10.0, rssi_min_dbm=-80, rssi_max_dbm=-90)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LinkCapacityModel(max_capacity_bps=0.0)
+
+
+class TestLinkQualityEstimator:
+    def test_below_sensitivity_never_received(self):
+        estimator = LinkQualityEstimator()
+        assert estimator.success_probability(estimator.sensitivity_dbm - 1.0) == 0.0
+
+    def test_well_above_sensitivity_always_received(self):
+        estimator = LinkQualityEstimator(margin_db=10.0)
+        assert estimator.success_probability(estimator.sensitivity_dbm + 20.0) == 1.0
+
+    def test_probability_ramps_linearly_inside_margin(self):
+        estimator = LinkQualityEstimator(margin_db=10.0)
+        halfway = estimator.sensitivity_dbm + 5.0
+        assert estimator.success_probability(halfway) == pytest.approx(0.5)
+
+    def test_deterministic_threshold_without_rng(self):
+        estimator = LinkQualityEstimator(margin_db=10.0)
+        assert estimator.frame_received(estimator.sensitivity_dbm + 9.0, None)
+        assert not estimator.frame_received(estimator.sensitivity_dbm + 1.0, None)
+
+    def test_stochastic_reception_matches_probability(self, rng):
+        estimator = LinkQualityEstimator(margin_db=10.0)
+        rssi = estimator.sensitivity_dbm + 7.0
+        outcomes = [estimator.frame_received(rssi, rng) for _ in range(2000)]
+        assert 0.6 < sum(outcomes) / len(outcomes) < 0.8
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ValueError):
+            LinkQualityEstimator(margin_db=0.0)

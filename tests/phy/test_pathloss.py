@@ -1,0 +1,89 @@
+"""Unit tests for the path-loss models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.pathloss import (
+    DEFAULT_PATH_LOSS_EXPONENT,
+    DiscPathLoss,
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+)
+
+
+class TestLogDistance:
+    def test_reference_distance_gives_reference_loss(self):
+        model = LogDistancePathLoss()
+        assert model.path_loss_db(1000.0) == pytest.approx(model.reference_loss_db)
+
+    def test_loss_grows_with_distance(self):
+        model = LogDistancePathLoss()
+        assert model.path_loss_db(2000.0) > model.path_loss_db(1000.0) > model.path_loss_db(200.0)
+
+    def test_exponent_slope_is_10n_per_decade(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        per_decade = model.path_loss_db(10_000.0) - model.path_loss_db(1000.0)
+        assert per_decade == pytest.approx(10.0 * DEFAULT_PATH_LOSS_EXPONENT)
+
+    def test_received_power_without_rng_is_deterministic(self):
+        model = LogDistancePathLoss()
+        a = model.received_power_dbm(14.0, 800.0)
+        b = model.received_power_dbm(14.0, 800.0)
+        assert a == b
+
+    def test_shadowing_adds_variance(self, rng):
+        model = LogDistancePathLoss(shadowing_sigma_db=8.0)
+        samples = [model.received_power_dbm(14.0, 800.0, rng) for _ in range(200)]
+        assert np.std(samples) > 2.0
+
+    def test_shadowing_sample_zero_mean(self, rng):
+        model = LogDistancePathLoss(shadowing_sigma_db=8.0)
+        samples = [model.shadowing_db(rng) for _ in range(2000)]
+        assert abs(np.mean(samples)) < 1.0
+
+    def test_range_for_sensitivity_round_trips(self):
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        distance = model.range_for_sensitivity(14.0, -123.0)
+        rssi = model.received_power_dbm(14.0, distance)
+        assert rssi == pytest.approx(-123.0, abs=0.1)
+
+    def test_sub_metre_distances_clamped(self):
+        model = LogDistancePathLoss()
+        assert model.path_loss_db(0.0) == model.path_loss_db(1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().path_loss_db(-5.0)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)
+
+
+class TestFreeSpace:
+    def test_known_value_at_1km_868mhz(self):
+        # FSPL(1 km, 868 MHz) is about 91.2 dB.
+        model = FreeSpacePathLoss(868e6)
+        assert model.path_loss_db(1000.0) == pytest.approx(91.2, abs=0.5)
+
+    def test_loss_grows_20db_per_decade(self):
+        model = FreeSpacePathLoss()
+        assert model.path_loss_db(10_000.0) - model.path_loss_db(1000.0) == pytest.approx(20.0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            FreeSpacePathLoss(0.0)
+
+
+class TestDisc:
+    def test_inside_radius_has_fixed_rssi(self):
+        model = DiscPathLoss(radius_m=500.0, in_range_rssi_dbm=-70.0)
+        assert model.received_power_dbm(14.0, 499.0) == -70.0
+
+    def test_outside_radius_unreachable(self):
+        model = DiscPathLoss(radius_m=500.0)
+        assert model.received_power_dbm(14.0, 501.0) == float("-inf")
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            DiscPathLoss(radius_m=0.0)

@@ -1,0 +1,183 @@
+"""Unit tests for the forwarding schemes."""
+
+import pytest
+
+from repro.mac.device import DeviceConfig, EndDevice
+from repro.mac.frames import DataMessage, UplinkPacket
+from repro.phy.link import LinkCapacityModel
+from repro.routing import SCHEME_REGISTRY, make_scheme
+from repro.routing.base import ForwardingDecision
+from repro.routing.epidemic import EpidemicScheme
+from repro.routing.no_routing import NoRoutingScheme
+from repro.routing.rca_etx_scheme import RCAETXScheme
+from repro.routing.robc_scheme import ROBCScheme
+from repro.routing.spray_and_wait import SprayAndWaitScheme, get_tickets
+
+CAPACITY = LinkCapacityModel(max_capacity_bps=100.0, rssi_min_dbm=-120.0, rssi_max_dbm=-80.0)
+GOOD_RSSI = -85.0
+
+
+def _device(device_id="bus-x", queued=5, disconnected_for=5):
+    device = EndDevice(device_id, config=DeviceConfig())
+    for i in range(queued):
+        device.generate_message(float(i))
+    # A good gateway contact followed by an optional long outage; with the
+    # default of five missed slots the device is a natural forwarding
+    # candidate, with zero it keeps its own (cheap) route.
+    device.rca_etx.observe_transmission_slot(0.0, 100.0)
+    for slot in range(1, disconnected_for + 1):
+        device.rca_etx.observe_transmission_slot(slot * 180.0, 0.0)
+    return device
+
+
+def _packet(sender="bus-y", rca_etx=2.0, queue_length=1):
+    messages = (DataMessage(source=sender, created_at=0.0),)
+    return UplinkPacket(
+        sender=sender, sent_at=1000.0, messages=messages,
+        rca_etx_s=rca_etx, queue_length=queue_length,
+    )
+
+
+class TestRegistry:
+    def test_all_schemes_registered(self):
+        assert set(SCHEME_REGISTRY) == {
+            "no-routing", "rca-etx", "robc", "epidemic", "spray-and-wait"
+        }
+
+    def test_make_scheme_builds_instances(self):
+        assert isinstance(make_scheme("robc"), ROBCScheme)
+        assert isinstance(make_scheme("no-routing"), NoRoutingScheme)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheme("definitely-not-a-scheme")
+
+
+class TestForwardingDecision:
+    def test_no_decision(self):
+        decision = ForwardingDecision.no()
+        assert not decision.forward and decision.message_limit == 0
+
+    def test_forward_requires_positive_limit(self):
+        with pytest.raises(ValueError):
+            ForwardingDecision(forward=True, message_limit=0)
+
+
+class TestNoRouting:
+    def test_never_forwards(self):
+        scheme = NoRoutingScheme()
+        decision = scheme.on_overhear(_device(), _packet(), GOOD_RSSI, CAPACITY, 1000.0)
+        assert not decision.forward
+        assert not scheme.uses_forwarding
+        assert not scheme.requires_queue_length
+
+
+class TestRCAETXScheme:
+    def test_forwards_to_better_neighbour(self):
+        decision = RCAETXScheme().on_overhear(_device(), _packet(rca_etx=2.0), GOOD_RSSI, CAPACITY, 1000.0)
+        assert decision.forward
+        assert decision.message_limit > 0
+        assert not decision.copy
+
+    def test_does_not_forward_to_worse_neighbour(self):
+        decision = RCAETXScheme().on_overhear(
+            _device(), _packet(rca_etx=1e6), GOOD_RSSI, CAPACITY, 1000.0
+        )
+        assert not decision.forward
+
+    def test_does_not_forward_without_metric_field(self):
+        packet = UplinkPacket(
+            sender="bus-y", sent_at=0.0, messages=(DataMessage(source="bus-y", created_at=0.0),)
+        )
+        assert not RCAETXScheme().on_overhear(_device(), packet, GOOD_RSSI, CAPACITY, 0.0).forward
+
+    def test_does_not_forward_with_empty_queue(self):
+        empty = _device(queued=0)
+        assert not RCAETXScheme().on_overhear(empty, _packet(), GOOD_RSSI, CAPACITY, 0.0).forward
+
+    def test_limit_respects_own_queue_and_configuration(self):
+        decision = RCAETXScheme(max_handover_messages=3).on_overhear(
+            _device(queued=10), _packet(rca_etx=1.0), GOOD_RSSI, CAPACITY, 1000.0
+        )
+        assert decision.message_limit == 3
+
+    def test_connected_device_keeps_its_data(self):
+        connected = _device(disconnected_for=0)
+        decision = RCAETXScheme().on_overhear(connected, _packet(rca_etx=50.0), GOOD_RSSI, CAPACITY, 0.0)
+        assert not decision.forward
+
+
+class TestROBCScheme:
+    def test_forwards_when_backpressure_positive(self):
+        decision = ROBCScheme().on_overhear(
+            _device(queued=10), _packet(rca_etx=2.0, queue_length=0), GOOD_RSSI, CAPACITY, 1000.0
+        )
+        assert decision.forward
+        assert 0 < decision.message_limit <= 10
+
+    def test_does_not_forward_to_more_loaded_neighbour(self):
+        decision = ROBCScheme().on_overhear(
+            _device(queued=1), _packet(rca_etx=1e6, queue_length=60), GOOD_RSSI, CAPACITY, 1000.0
+        )
+        assert not decision.forward
+
+    def test_requires_queue_length_field(self):
+        packet = _packet(queue_length=None)
+        assert not ROBCScheme().on_overhear(_device(), packet, GOOD_RSSI, CAPACITY, 0.0).forward
+        assert ROBCScheme.requires_queue_length
+
+    def test_does_not_forward_over_dead_link(self):
+        decision = ROBCScheme().on_overhear(
+            _device(queued=10), _packet(queue_length=0), -130.0, CAPACITY, 1000.0
+        )
+        assert not decision.forward
+
+    def test_transfer_limited_by_max_handover(self):
+        decision = ROBCScheme(max_handover_messages=2).on_overhear(
+            _device(queued=20), _packet(rca_etx=1.0, queue_length=0), GOOD_RSSI, CAPACITY, 1000.0
+        )
+        assert decision.message_limit <= 2
+
+
+class TestEpidemic:
+    def test_always_replicates_when_data_present(self):
+        decision = EpidemicScheme().on_overhear(_device(), _packet(), GOOD_RSSI, CAPACITY, 0.0)
+        assert decision.forward and decision.copy
+
+    def test_no_data_no_forwarding(self):
+        assert not EpidemicScheme().on_overhear(
+            _device(queued=0), _packet(), GOOD_RSSI, CAPACITY, 0.0
+        ).forward
+
+
+class TestSprayAndWait:
+    def test_sprays_while_tickets_remain(self):
+        scheme = SprayAndWaitScheme(initial_copies=4)
+        device = _device(queued=3)
+        decision = scheme.on_overhear(device, _packet(), GOOD_RSSI, CAPACITY, 0.0)
+        assert decision.forward and decision.copy
+
+    def test_wait_phase_when_single_ticket(self):
+        scheme = SprayAndWaitScheme(initial_copies=1)
+        device = _device(queued=3)
+        assert not scheme.on_overhear(device, _packet(), GOOD_RSSI, CAPACITY, 0.0).forward
+
+    def test_split_tickets_halves(self):
+        scheme = SprayAndWaitScheme(initial_copies=8)
+        message = DataMessage(source="bus-x", created_at=0.0)
+        given = scheme.split_tickets(message)
+        assert given == 4
+        assert get_tickets(message, 8) == 4
+
+    def test_split_exhausted_message_gives_nothing(self):
+        scheme = SprayAndWaitScheme(initial_copies=1)
+        message = DataMessage(source="bus-x", created_at=0.0)
+        assert scheme.split_tickets(message) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SprayAndWaitScheme(initial_copies=0)
+        with pytest.raises(ValueError):
+            RCAETXScheme(max_handover_messages=0)
+        with pytest.raises(ValueError):
+            ROBCScheme(max_handover_messages=0)

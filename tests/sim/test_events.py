@@ -1,0 +1,104 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventCancelled, EventQueue
+
+
+class TestEvent:
+    def test_fire_invokes_callback_with_payload(self):
+        seen = []
+        event = Event(time=1.0, callback=seen.append, payload="x")
+        event.fire()
+        assert seen == ["x"]
+
+    def test_fire_without_callback_is_allowed(self):
+        event = Event(time=0.0)
+        event.fire()
+        assert event.fired
+
+    def test_fire_twice_raises(self):
+        event = Event(time=0.0)
+        event.fire()
+        with pytest.raises(EventCancelled):
+            event.fire()
+
+    def test_cancelled_event_cannot_fire(self):
+        event = Event(time=0.0)
+        event.cancel()
+        with pytest.raises(EventCancelled):
+            event.fire()
+
+    def test_cannot_cancel_after_firing(self):
+        event = Event(time=0.0)
+        event.fire()
+        with pytest.raises(EventCancelled):
+            event.cancel()
+
+    def test_pending_reflects_lifecycle(self):
+        event = Event(time=0.0)
+        assert event.pending
+        event.fire()
+        assert not event.pending
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(5.0)
+        queue.schedule(1.0)
+        queue.schedule(3.0)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_equal_times_fire_in_insertion_order(self):
+        queue = EventQueue()
+        first = queue.schedule(2.0, payload="first")
+        second = queue.schedule(2.0, payload="second")
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_priority_breaks_ties_before_insertion_order(self):
+        queue = EventQueue()
+        low_priority = queue.schedule(2.0, priority=5)
+        high_priority = queue.schedule(2.0, priority=1)
+        assert queue.pop() is high_priority
+        assert queue.pop() is low_priority
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0)
+
+    def test_len_ignores_cancelled_events(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0)
+        queue.schedule(2.0)
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_bool_false_when_only_cancelled_events_remain(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0)
+        event.cancel()
+        assert not queue
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0)
+        queue.schedule(4.0)
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises_index_error(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        queue.schedule(1.0)
+        queue.clear()
+        assert len(queue) == 0

@@ -1,0 +1,132 @@
+"""Unit tests for the simulator kernel and processes."""
+
+import pytest
+
+from repro.sim.kernel import Simulator, Timeout, every
+
+
+class TestSimulatorScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_run_advances_clock_to_last_event(self):
+        sim = Simulator()
+        sim.schedule(3.5)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, payload="a")
+        sim.schedule(10.0, fired.append, payload="b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+
+    def test_events_at_exactly_until_still_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, payload="edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_schedule_in_is_relative_to_now(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda _p: sim.schedule_in(3.0, lambda _q: times.append(sim.now)))
+        sim.run()
+        assert times == [5.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda _p: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule(1.0)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1.0)
+
+    def test_run_returns_number_of_fired_events(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t)
+        assert sim.run() == 3
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t)
+        assert sim.run(max_events=2) == 2
+        assert sim.pending_events == 1
+
+
+class TestProcesses:
+    def test_process_advances_through_timeouts(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            ticks.append(sim.now)
+            yield Timeout(2.0)
+            ticks.append(sim.now)
+            yield Timeout(3.0)
+            ticks.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert ticks == [0.0, 2.0, 5.0]
+
+    def test_process_start_delay(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            ticks.append(sim.now)
+            yield Timeout(1.0)
+
+        sim.process(proc(), delay=4.0)
+        sim.run()
+        assert ticks == [4.0]
+
+    def test_process_yielding_wrong_type_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_stopped_process_does_not_resume(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            while True:
+                ticks.append(sim.now)
+                yield Timeout(1.0)
+
+        handle = sim.process(proc())
+        sim.run(until=2.5)
+        handle.stop()
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_timeout_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Timeout(-0.1)
+
+    def test_every_invokes_callback_periodically(self):
+        sim = Simulator()
+        calls = []
+        every(sim, interval=10.0, callback=calls.append, start=5.0)
+        sim.run(until=36.0)
+        assert calls == [5.0, 15.0, 25.0, 35.0]
+
+    def test_every_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            every(Simulator(), interval=0.0, callback=lambda _t: None)

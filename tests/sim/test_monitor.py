@@ -1,0 +1,96 @@
+"""Unit tests for the statistics probes."""
+
+import math
+
+import pytest
+
+from repro.sim.monitor import CounterProbe, SeriesProbe, TallyProbe
+
+
+class TestCounterProbe:
+    def test_unknown_counter_defaults_to_zero(self):
+        assert CounterProbe().value("missing") == 0
+
+    def test_increment_accumulates(self):
+        probe = CounterProbe()
+        probe.increment("tx")
+        probe.increment("tx", 4)
+        assert probe.value("tx") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            CounterProbe().increment("tx", -1)
+
+    def test_as_dict_returns_copy(self):
+        probe = CounterProbe()
+        probe.increment("a")
+        snapshot = probe.as_dict()
+        snapshot["a"] = 99
+        assert probe.value("a") == 1
+
+
+class TestTallyProbe:
+    def test_summary_of_known_samples(self):
+        probe = TallyProbe()
+        probe.extend([1.0, 2.0, 3.0, 4.0])
+        summary = probe.summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_empty_summary_is_nan(self):
+        summary = TallyProbe().summary()
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_nan_sample_rejected(self):
+        with pytest.raises(ValueError):
+            TallyProbe().record(float("nan"))
+
+    def test_len_tracks_samples(self):
+        probe = TallyProbe()
+        probe.record(1.0)
+        probe.record(2.0)
+        assert len(probe) == 2
+
+    def test_samples_returns_copy(self):
+        probe = TallyProbe()
+        probe.record(1.0)
+        probe.samples.append(99.0)
+        assert len(probe) == 1
+
+
+class TestSeriesProbe:
+    def test_binned_sums_values_per_window(self):
+        probe = SeriesProbe()
+        probe.record(10.0, 1.0)
+        probe.record(20.0, 2.0)
+        probe.record(130.0, 5.0)
+        starts, sums = probe.binned(bin_width=60.0, horizon=180.0)
+        assert list(starts) == [0.0, 60.0, 120.0]
+        assert list(sums) == [3.0, 0.0, 5.0]
+
+    def test_observations_beyond_horizon_dropped(self):
+        probe = SeriesProbe()
+        probe.record(500.0, 1.0)
+        _, sums = probe.binned(bin_width=60.0, horizon=120.0)
+        assert sums.sum() == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesProbe().record(-1.0)
+
+    def test_invalid_bin_parameters_rejected(self):
+        probe = SeriesProbe()
+        with pytest.raises(ValueError):
+            probe.binned(bin_width=0.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            probe.binned(bin_width=10.0, horizon=0.0)
+
+    def test_points_round_trip(self):
+        probe = SeriesProbe()
+        probe.record(1.0, 2.0)
+        assert probe.points == [(1.0, 2.0)]
+        assert len(probe) == 1

@@ -1,0 +1,50 @@
+"""Unit tests for named random streams."""
+
+import pytest
+
+from repro.sim.randomness import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_reproduces_values(self):
+        a = RandomStreams(42).stream("mobility").random(5)
+        b = RandomStreams(42).stream("mobility").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_give_independent_streams(self):
+        streams = RandomStreams(42)
+        a = streams.stream("mobility").random(5)
+        b = streams.stream("shadowing").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_give_different_values(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert list(a) != list(b)
+
+    def test_stream_is_cached_not_recreated(self):
+        streams = RandomStreams(7)
+        first = streams.stream("x")
+        first.random(3)
+        assert streams.stream("x") is first
+
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(9).spawn("rep-1").stream("x").random(3)
+        b = RandomStreams(9).spawn("rep-1").stream("x").random(3)
+        assert list(a) == list(b)
+
+    def test_spawn_differs_from_parent(self):
+        parent = RandomStreams(9)
+        child = parent.spawn("rep-1")
+        assert list(parent.stream("x").random(3)) != list(child.stream("x").random(3))
+
+    def test_empty_stream_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).stream("")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("not-a-seed")  # type: ignore[arg-type]
+
+    def test_seed_property(self):
+        assert RandomStreams(123).seed == 123
