@@ -18,6 +18,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.experiments.figures import ReproductionScale, run_density_sweep  # noqa: E402
+from repro.experiments.parallel import SweepExecutor  # noqa: E402
 
 #: Scale used for the density sweep behind Figs. 8, 9, 12 and 13.
 SWEEP_SCALE = ReproductionScale(
@@ -49,5 +50,9 @@ ABLATION_SCALE = ReproductionScale(
 
 @pytest.fixture(scope="session")
 def density_sweep():
-    """The shared (scheme × gateway count × device range) sweep."""
-    return run_density_sweep(SWEEP_SCALE)
+    """The shared (scheme × gateway count × device range) sweep.
+
+    Serial by default; exporting ``REPRO_SWEEP_WORKERS=n`` fans the 18 runs
+    out over ``n`` processes without changing any result.
+    """
+    return run_density_sweep(SWEEP_SCALE, executor=SweepExecutor.from_env())

@@ -6,6 +6,9 @@
   time-varying topology from a configuration.
 * :mod:`repro.experiments.runner` — the event-driven MLoRa-SS simulation
   engine that executes one run and returns :class:`repro.analysis.RunMetrics`.
+* :mod:`repro.experiments.parallel` — the :class:`SweepExecutor` that runs
+  batches of independent runs serially or over worker processes, with
+  deterministic per-run seed derivation and on-disk result caching.
 * :mod:`repro.experiments.sweeps` — parameter sweeps over gateway density,
   device range and schemes.
 * :mod:`repro.experiments.figures` — one entry point per paper figure
@@ -14,9 +17,17 @@
 """
 
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import (
+    RunOutcome,
+    RunSpec,
+    SweepExecutor,
+    derive_run_seed,
+    replication_specs,
+    sweep_specs,
+)
 from repro.experiments.runner import MLoRaSimulation, run_scenario
 from repro.experiments.scenario import BuiltScenario, build_scenario
-from repro.experiments.sweeps import SweepResult, run_gateway_sweep
+from repro.experiments.sweeps import SweepResult, run_gateway_sweep, run_replications
 
 __all__ = [
     "ScenarioConfig",
@@ -26,4 +37,11 @@ __all__ = [
     "build_scenario",
     "SweepResult",
     "run_gateway_sweep",
+    "run_replications",
+    "RunOutcome",
+    "RunSpec",
+    "SweepExecutor",
+    "derive_run_seed",
+    "replication_specs",
+    "sweep_specs",
 ]

@@ -10,14 +10,14 @@ larger offline campaigns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import RunMetrics
 from repro.analysis.timeseries import bin_events
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import run_scenario
+from repro.experiments.parallel import RunSpec, SweepExecutor
 from repro.experiments.sweeps import (
     PAPER_GATEWAY_COUNTS,
     PAPER_SCHEMES,
@@ -124,6 +124,7 @@ def figure07_bus_network(scale: ReproductionScale = BENCHMARK_SCALE) -> BusNetwo
 def run_density_sweep(
     scale: ReproductionScale = BENCHMARK_SCALE,
     device_ranges_m: Sequence[float] = (URBAN_DEVICE_RANGE_M, RURAL_DEVICE_RANGE_M),
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """The shared sweep Figs. 8, 9, 12 and 13 are all derived from."""
     base = scale.base_config()
@@ -133,6 +134,7 @@ def run_density_sweep(
         schemes=scale.schemes,
         device_ranges_m=device_ranges_m,
         gateway_scale=scale.spatial_scale,
+        executor=executor,
     )
 
 
@@ -206,19 +208,29 @@ class ThroughputTimeSeries:
 
 
 def _timeseries_for_range(
-    scale: ReproductionScale, device_range_m: float, nominal_gateways: int, bin_width_s: float
+    scale: ReproductionScale,
+    device_range_m: float,
+    nominal_gateways: int,
+    bin_width_s: float,
+    executor: Optional[SweepExecutor] = None,
 ) -> ThroughputTimeSeries:
     base = scale.base_config(duration_s=scale.timeseries_duration_s)
     actual_gateways = max(1, round(nominal_gateways * scale.spatial_scale))
+    specs = [
+        RunSpec(
+            config=(
+                base.with_scheme(scheme)
+                .with_gateways(actual_gateways)
+                .with_device_range(device_range_m)
+            ),
+            nominal_gateways=nominal_gateways,
+        )
+        for scheme in scale.schemes
+    ]
+    executor = executor or SweepExecutor()
     bin_starts: List[float] = []
     series: Dict[str, List[float]] = {}
-    for scheme in scale.schemes:
-        config = (
-            base.with_scheme(scheme)
-            .with_gateways(actual_gateways)
-            .with_device_range(device_range_m)
-        )
-        metrics = run_scenario(config)
+    for scheme, metrics in zip(scale.schemes, executor.run_metrics(specs)):
         starts, counts = bin_events(
             metrics.delivery_times_s, bin_width_s, scale.timeseries_duration_s
         )
@@ -235,18 +247,24 @@ def figure10_urban_timeseries(
     scale: ReproductionScale = BENCHMARK_SCALE,
     nominal_gateways: int = 100,
     bin_width_s: float = 600.0,
+    executor: Optional[SweepExecutor] = None,
 ) -> ThroughputTimeSeries:
     """Fig. 10: messages delivered every 10 minutes over the day, urban (500 m) setting."""
-    return _timeseries_for_range(scale, URBAN_DEVICE_RANGE_M, nominal_gateways, bin_width_s)
+    return _timeseries_for_range(
+        scale, URBAN_DEVICE_RANGE_M, nominal_gateways, bin_width_s, executor
+    )
 
 
 def figure11_rural_timeseries(
     scale: ReproductionScale = BENCHMARK_SCALE,
     nominal_gateways: int = 100,
     bin_width_s: float = 600.0,
+    executor: Optional[SweepExecutor] = None,
 ) -> ThroughputTimeSeries:
     """Fig. 11: messages delivered every 10 minutes over the day, rural (1000 m) setting."""
-    return _timeseries_for_range(scale, RURAL_DEVICE_RANGE_M, nominal_gateways, bin_width_s)
+    return _timeseries_for_range(
+        scale, RURAL_DEVICE_RANGE_M, nominal_gateways, bin_width_s, executor
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -256,58 +274,77 @@ def ablation_alpha(
     scale: ReproductionScale = BENCHMARK_SCALE,
     alphas: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     nominal_gateways: int = 70,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[float, RunMetrics]:
     """Sweep the EWMA weight α of Eq. (4) for the RCA-ETX scheme."""
     from dataclasses import replace
 
     base = scale.base_config()
     actual_gateways = max(1, round(nominal_gateways * scale.spatial_scale))
-    results: Dict[float, RunMetrics] = {}
-    for alpha in alphas:
-        device = replace(base.device, ewma_alpha=alpha)
-        config = replace(
-            base.with_scheme("rca-etx").with_gateways(actual_gateways), device=device
+    specs = [
+        RunSpec(
+            config=replace(
+                base.with_scheme("rca-etx").with_gateways(actual_gateways),
+                device=replace(base.device, ewma_alpha=alpha),
+            ),
         )
-        results[alpha] = run_scenario(config)
-    return results
+        for alpha in alphas
+    ]
+    executor = executor or SweepExecutor()
+    return dict(zip(alphas, executor.run_metrics(specs)))
 
 
 def ablation_device_class(
     scale: ReproductionScale = BENCHMARK_SCALE,
     nominal_gateways: int = 70,
     scheme: str = "robc",
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, RunMetrics]:
     """Modified Class-C versus Queue-based Class-A (performance and energy, Sec. VII-C)."""
     from dataclasses import replace
 
     base = scale.base_config()
     actual_gateways = max(1, round(nominal_gateways * scale.spatial_scale))
-    results: Dict[str, RunMetrics] = {}
-    for device_class in ("modified-class-c", "queue-based-class-a"):
-        config = replace(
-            base.with_scheme(scheme).with_gateways(actual_gateways),
-            device_class=device_class,
+    device_classes = ("modified-class-c", "queue-based-class-a")
+    specs = [
+        RunSpec(
+            config=replace(
+                base.with_scheme(scheme).with_gateways(actual_gateways),
+                device_class=device_class,
+            )
         )
-        results[device_class] = run_scenario(config)
-    return results
+        for device_class in device_classes
+    ]
+    executor = executor or SweepExecutor()
+    return dict(zip(device_classes, executor.run_metrics(specs)))
 
 
 def ablation_gateway_placement(
     scale: ReproductionScale = BENCHMARK_SCALE,
     nominal_gateways: int = 70,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Dict[str, RunMetrics]]:
     """Grid versus uniform-random gateway placement (Sec. VII-C discussion)."""
     from dataclasses import replace
 
     base = scale.base_config()
     actual_gateways = max(1, round(nominal_gateways * scale.spatial_scale))
-    results: Dict[str, Dict[str, RunMetrics]] = {}
-    for placement in ("grid", "random"):
-        results[placement] = {}
-        for scheme in scale.schemes:
-            config = replace(
+    keys: List[Tuple[str, str]] = [
+        (placement, scheme)
+        for placement in ("grid", "random")
+        for scheme in scale.schemes
+    ]
+    specs = [
+        RunSpec(
+            config=replace(
                 base.with_scheme(scheme).with_gateways(actual_gateways),
                 gateway_placement=placement,
             )
-            results[placement][scheme] = run_scenario(config)
+        )
+        for placement, scheme in keys
+    ]
+    executor = executor or SweepExecutor()
+    results: Dict[str, Dict[str, RunMetrics]] = {}
+    for (placement, scheme), metrics in zip(keys, executor.run_metrics(specs)):
+        results.setdefault(placement, {})[scheme] = metrics
     return results

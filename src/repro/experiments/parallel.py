@@ -1,0 +1,295 @@
+"""Process-parallel sweep execution with deterministic seeds and caching.
+
+Every figure of the paper's evaluation is a batch of independent simulation
+runs (scheme × gateway count × device range × seed).  :class:`SweepExecutor`
+is the single execution path for such batches: it takes picklable
+:class:`RunSpec` objects, runs them serially (``workers=1``) or over a
+``ProcessPoolExecutor``, optionally caches finished :class:`RunMetrics` on
+disk keyed by a configuration hash, and returns :class:`RunOutcome` objects
+in spec order.
+
+Parallelism never changes results: each run is fully described by its
+:class:`~repro.experiments.config.ScenarioConfig` (including the master seed
+every random stream derives from), so the same spec produces bit-identical
+metrics no matter which process executes it.  ``tests/experiments/
+test_parallel.py`` pins this equivalence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.metrics import RunMetrics
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+
+#: Derived seeds stay in the positive signed-64-bit range.
+_SEED_SPACE = 2**63
+
+#: Environment knob for the default worker count of :meth:`SweepExecutor.from_env`.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+#: Part of every cache key.  Bump whenever simulation behaviour changes in a
+#: way that makes archived RunMetrics stale for an unchanged configuration —
+#: the configuration digest alone cannot see code changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+def derive_run_seed(
+    master_seed: int,
+    scheme: str,
+    num_gateways: int,
+    device_range_m: float,
+    replicate: int = 0,
+) -> int:
+    """A deterministic per-run seed from the sweep's master seed and run key.
+
+    Hash-derived (not sequential) so that adding or reordering runs in a sweep
+    never shifts the seed of an unrelated run, and distinct run keys get
+    statistically independent streams.
+    """
+    payload = f"{int(master_seed)}:{scheme}:{int(num_gateways)}:{float(device_range_m)!r}:{int(replicate)}"
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % _SEED_SPACE
+
+
+def config_digest(config: ScenarioConfig) -> str:
+    """A stable hex digest of every field of ``config`` (cache key material)."""
+    payload = json.dumps(asdict(config), sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable unit of sweep work.
+
+    ``nominal_gateways`` carries the paper's x-axis label when the deployed
+    count in ``config`` is scaled down (see ``run_gateway_sweep``); the
+    executor writes it back onto the resulting metrics.  ``replicate``
+    distinguishes replications of otherwise identical configurations.
+    """
+
+    config: ScenarioConfig
+    nominal_gateways: Optional[int] = None
+    replicate: int = 0
+
+    @property
+    def key(self) -> Tuple[str, int, float, int]:
+        """(scheme, reported gateway count, device range, replicate)."""
+        gateways = (
+            self.nominal_gateways
+            if self.nominal_gateways is not None
+            else self.config.num_gateways
+        )
+        return (self.config.scheme, gateways, self.config.device_range_m, self.replicate)
+
+    def cache_key(self) -> str:
+        """Filename-safe identity of this spec's result."""
+        gateways = "n" if self.nominal_gateways is None else str(self.nominal_gateways)
+        return (
+            f"v{CACHE_SCHEMA_VERSION}-{config_digest(self.config)}"
+            f"-{gateways}-{self.replicate}"
+        )
+
+
+@dataclass
+class RunOutcome:
+    """A finished (or cache-served) run."""
+
+    spec: RunSpec
+    metrics: RunMetrics
+    wall_time_s: float
+    from_cache: bool = False
+
+
+def execute_spec(spec: RunSpec) -> RunOutcome:
+    """Run one spec in the current process (module-level, hence picklable)."""
+    start = time.perf_counter()
+    metrics = run_scenario(spec.config)
+    if spec.nominal_gateways is not None:
+        metrics.num_gateways = spec.nominal_gateways
+    return RunOutcome(spec=spec, metrics=metrics, wall_time_s=time.perf_counter() - start)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Fork keeps the parent's sys.path (the tests and benchmarks rely on a
+    # conftest path insert rather than an installed package); fall back to the
+    # platform default where fork does not exist.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class SweepExecutor:
+    """Runs batches of :class:`RunSpec` serially or process-parallel.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` executes in-process (the reference path used by equivalence
+        tests); ``n > 1`` fans runs out over ``n`` worker processes.
+    cache_dir:
+        When set, finished metrics are pickled into this directory keyed by
+        :meth:`RunSpec.cache_key`, and later executions of the same spec are
+        served from disk.
+    """
+
+    def __init__(
+        self, workers: int = 1, cache_dir: Optional[Union[str, Path]] = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.cache_dir = (
+            Path(cache_dir).expanduser() if cache_dir is not None else None
+        )
+
+    @classmethod
+    def from_env(
+        cls, default_workers: int = 1, cache_dir: Optional[Union[str, Path]] = None
+    ) -> "SweepExecutor":
+        """An executor sized by the ``REPRO_SWEEP_WORKERS`` environment variable."""
+        raw = os.environ.get(WORKERS_ENV_VAR, "")
+        if raw.strip():
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            workers = default_workers
+        return cls(workers=workers, cache_dir=cache_dir)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
+        """Execute every spec and return outcomes in spec order."""
+        specs = list(specs)
+        outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self._load_cached(spec)
+            if cached is not None:
+                outcomes[index] = cached
+            else:
+                pending.append(index)
+
+        if pending and self.workers == 1:
+            for index in pending:
+                outcomes[index] = execute_spec(specs[index])
+        elif pending:
+            pool_size = min(self.workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=_pool_context()
+            ) as pool:
+                futures = [(index, pool.submit(execute_spec, specs[index])) for index in pending]
+                for index, future in futures:
+                    outcomes[index] = future.result()
+
+        for index in pending:
+            self._store_cached(outcomes[index])
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def run_metrics(self, specs: Sequence[RunSpec]) -> List[RunMetrics]:
+        """Like :meth:`run` but returning only the metrics."""
+        return [outcome.metrics for outcome in self.run(specs)]
+
+    # ------------------------------------------------------------------ #
+    # Caching
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, spec: RunSpec) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.cache_key()}.pkl"
+
+    def _load_cached(self, spec: RunSpec) -> Optional[RunOutcome]:
+        path = self._cache_path(spec)
+        if path is None or not path.is_file():
+            return None
+        try:
+            with path.open("rb") as handle:
+                metrics = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, OSError):
+            return None
+        if not isinstance(metrics, RunMetrics):
+            return None
+        return RunOutcome(spec=spec, metrics=metrics, wall_time_s=0.0, from_cache=True)
+
+    def _store_cached(self, outcome: Optional[RunOutcome]) -> None:
+        if outcome is None:
+            return
+        path = self._cache_path(outcome.spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Writer-unique temp name: concurrent sessions sharing a cache_dir
+        # may finish the same spec at once, and a shared temp file would let
+        # their writes interleave before the atomic rename.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(outcome.metrics, handle)
+        tmp.replace(path)
+
+
+# --------------------------------------------------------------------- #
+# Spec builders
+# --------------------------------------------------------------------- #
+def sweep_specs(
+    base_config: ScenarioConfig,
+    gateway_counts: Sequence[int],
+    schemes: Sequence[str],
+    device_ranges_m: Sequence[float],
+    gateway_scale: float = 1.0,
+) -> List[RunSpec]:
+    """The run specs of a (scheme × gateway count × device range) sweep.
+
+    Mirrors the nesting order the serial sweep historically used so that
+    executors preserve run-for-run comparability with older results.
+    """
+    if gateway_scale <= 0:
+        raise ValueError("gateway_scale must be positive")
+    specs: List[RunSpec] = []
+    for device_range in device_ranges_m:
+        for nominal_count in gateway_counts:
+            actual_count = max(1, round(nominal_count * gateway_scale))
+            for scheme in schemes:
+                config = (
+                    base_config.with_scheme(scheme)
+                    .with_gateways(actual_count)
+                    .with_device_range(device_range)
+                )
+                specs.append(RunSpec(config=config, nominal_gateways=nominal_count))
+    return specs
+
+
+def replication_specs(config: ScenarioConfig, num_replications: int) -> List[RunSpec]:
+    """Specs for ``num_replications`` runs of one configuration.
+
+    Each replicate's seed is derived with :func:`derive_run_seed`, so the set
+    of seeds is a pure function of the configuration's master seed and key.
+    """
+    if num_replications < 1:
+        raise ValueError(f"num_replications must be >= 1, got {num_replications}")
+    specs: List[RunSpec] = []
+    for replicate in range(num_replications):
+        seed = derive_run_seed(
+            config.seed,
+            config.scheme,
+            config.num_gateways,
+            config.device_range_m,
+            replicate,
+        )
+        specs.append(RunSpec(config=config.with_seed(seed), replicate=replicate))
+    return specs

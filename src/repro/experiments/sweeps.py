@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import run_scenario
+from repro.experiments.parallel import RunSpec, SweepExecutor, sweep_specs
 
 #: The gateway counts the paper sweeps in Figs. 8, 9, 12 and 13.
 PAPER_GATEWAY_COUNTS: Tuple[int, ...] = (40, 50, 60, 70, 80, 90, 100)
@@ -66,6 +66,7 @@ def run_gateway_sweep(
     schemes: Sequence[str] = PAPER_SCHEMES,
     device_ranges_m: Sequence[float] = (URBAN_DEVICE_RANGE_M,),
     gateway_scale: float = 1.0,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Run every (scheme, gateway count, device range) combination.
 
@@ -73,25 +74,31 @@ def run_gateway_sweep(
     scenario (e.g. a 0.25-scale area uses a quarter of the gateways while the
     reported x-axis keeps the paper's labels).  The metrics keep the *nominal*
     count so downstream tables line up with the paper's figures.
+
+    ``executor`` controls how the runs execute (worker processes, on-disk
+    caching); the default is a serial in-process :class:`SweepExecutor`.
+    Results are independent of the executor — every run is fully determined
+    by its configuration.
     """
-    if gateway_scale <= 0:
-        raise ValueError("gateway_scale must be positive")
+    specs = sweep_specs(
+        base_config, gateway_counts, schemes, device_ranges_m, gateway_scale
+    )
+    executor = executor or SweepExecutor()
     result = SweepResult()
-    for device_range in device_ranges_m:
-        for nominal_count in gateway_counts:
-            actual_count = max(1, round(nominal_count * gateway_scale))
-            for scheme in schemes:
-                config = (
-                    base_config.with_scheme(scheme)
-                    .with_gateways(actual_count)
-                    .with_device_range(device_range)
-                )
-                metrics = run_scenario(config)
-                metrics.num_gateways = nominal_count
-                result.add(metrics)
+    for metrics in executor.run_metrics(specs):
+        result.add(metrics)
     return result
 
 
-def run_replications(config: ScenarioConfig, seeds: Iterable[int]) -> List[RunMetrics]:
+def run_replications(
+    config: ScenarioConfig,
+    seeds: Iterable[int],
+    executor: Optional[SweepExecutor] = None,
+) -> List[RunMetrics]:
     """Run the same configuration under several seeds (for confidence intervals)."""
-    return [run_scenario(config.with_seed(seed)) for seed in seeds]
+    executor = executor or SweepExecutor()
+    specs = [
+        RunSpec(config=config.with_seed(seed), replicate=index)
+        for index, seed in enumerate(seeds)
+    ]
+    return executor.run_metrics(specs)

@@ -9,6 +9,7 @@ mobility traces for analysis and testing.
 
 from repro.network.contact import ContactInterval, extract_contacts, extract_sink_contacts
 from repro.network.node import DeviceNode, Node, NodeKind, SinkNode
+from repro.network.spatial import UniformGridIndex
 from repro.network.topology import LinkState, TimeVaryingTopology, TopologyConfig
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "Node",
     "NodeKind",
     "SinkNode",
+    "UniformGridIndex",
     "LinkState",
     "TimeVaryingTopology",
     "TopologyConfig",

@@ -1,0 +1,140 @@
+"""Uniform-grid spatial index for range queries over node positions.
+
+Both :meth:`TimeVaryingTopology.neighbours` and
+:meth:`TimeVaryingTopology.gateways_in_range` answer "which nodes are within
+``r`` metres of here?".  Scanning every node per query is O(N) and dominates
+large scenarios; hashing positions into square cells of side ``r`` reduces a
+query to the at most 3×3 block of cells overlapping the query disc.
+
+The index is a *candidate filter*, not an oracle: callers always re-check the
+exact distance of each candidate, so a coarse (cell-level) superset never
+changes connectivity decisions.  Query results preserve insertion order, which
+keeps downstream iteration order — and therefore whole-simulation event order
+and random-stream consumption — bit-identical to a full scan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from repro.mobility.geometry import Point
+
+
+class UniformGridIndex:
+    """Points hashed into square cells of a fixed size.
+
+    The index is build-once: positions are inserted (typically from one
+    coarse-position snapshot) and queried; a new snapshot means a new index.
+    """
+
+    def __init__(self, cell_size_m: float) -> None:
+        if cell_size_m <= 0:
+            raise ValueError(f"cell_size_m must be positive, got {cell_size_m}")
+        self.cell_size_m = float(cell_size_m)
+        self._cells: Dict[Tuple[int, int], List[str]] = {}
+        self._positions: Dict[str, Point] = {}
+        self._order: Dict[str, int] = {}
+
+    @classmethod
+    def from_positions(
+        cls, positions: Mapping[str, Point], cell_size_m: float
+    ) -> "UniformGridIndex":
+        """Build an index holding every (id, position) pair of ``positions``."""
+        index = cls(cell_size_m)
+        for item_id, position in positions.items():
+            index.insert(item_id, position)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._positions
+
+    @property
+    def cell_count(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    def position_of(self, item_id: str) -> Point:
+        """The stored position of ``item_id``."""
+        return self._positions[item_id]
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        return (
+            int(math.floor(x / self.cell_size_m)),
+            int(math.floor(y / self.cell_size_m)),
+        )
+
+    def insert(self, item_id: str, position: Point) -> None:
+        """Add one point; ids are unique (the index is rebuilt, never updated)."""
+        if item_id in self._positions:
+            raise ValueError(f"duplicate id {item_id!r} in spatial index")
+        self._order[item_id] = len(self._order)
+        self._positions[item_id] = position
+        self._cells.setdefault(self._cell_of(position.x, position.y), []).append(item_id)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _cells_overlapping(
+        self, center: Point, half_extent_m: float
+    ) -> Iterator[List[str]]:
+        # One extra cell of padding on every side: a point a hair outside the
+        # query square can still pass the caller's *computed* distance test
+        # when the subtraction rounds to the boundary, and it must then be a
+        # candidate.  Rounding error is sub-micrometre at any realistic
+        # coordinate, so one cell is a vast over-cover.
+        min_cx, min_cy = self._cell_of(center.x - half_extent_m, center.y - half_extent_m)
+        max_cx, max_cy = self._cell_of(center.x + half_extent_m, center.y + half_extent_m)
+        min_cx, min_cy, max_cx, max_cy = min_cx - 1, min_cy - 1, max_cx + 1, max_cy + 1
+        window = (max_cx - min_cx + 1) * (max_cy - min_cy + 1)
+        if window > len(self._cells):
+            # Query range much coarser than the cell size: walking the whole
+            # window would visit mostly-empty cells, so filter the occupied
+            # cells instead.  Bounds any query at O(occupied cells).
+            for (cx, cy), cell in self._cells.items():
+                if min_cx <= cx <= max_cx and min_cy <= cy <= max_cy:
+                    yield cell
+            return
+        for cx in range(min_cx, max_cx + 1):
+            for cy in range(min_cy, max_cy + 1):
+                cell = self._cells.get((cx, cy))
+                if cell:
+                    yield cell
+
+    def candidates_in_disc(self, center: Point, radius_m: float) -> List[str]:
+        """Ids stored in cells overlapping the disc, in insertion order.
+
+        A superset of the ids within Euclidean ``radius_m`` of ``center``;
+        callers must apply the exact distance test themselves.
+        """
+        if radius_m < 0:
+            raise ValueError(f"radius_m must be non-negative, got {radius_m}")
+        found: List[str] = []
+        for cell in self._cells_overlapping(center, radius_m):
+            found.extend(cell)
+        found.sort(key=self._order.__getitem__)
+        return found
+
+    def ids_in_square(self, center: Point, half_extent_m: float) -> List[str]:
+        """Ids whose stored position lies within Chebyshev distance
+        ``half_extent_m`` of ``center`` (boundary included), in insertion order.
+
+        This is exact with respect to the *stored* positions — it reproduces a
+        full-scan ``abs(dx) <= h and abs(dy) <= h`` filter.
+        """
+        if half_extent_m < 0:
+            raise ValueError(f"half_extent_m must be non-negative, got {half_extent_m}")
+        found: List[str] = []
+        for cell in self._cells_overlapping(center, half_extent_m):
+            for item_id in cell:
+                position = self._positions[item_id]
+                if (
+                    abs(position.x - center.x) <= half_extent_m
+                    and abs(position.y - center.y) <= half_extent_m
+                ):
+                    found.append(item_id)
+        found.sort(key=self._order.__getitem__)
+        return found

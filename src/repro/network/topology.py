@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.mobility.geometry import Point
 from repro.network.node import DeviceNode, SinkNode
+from repro.network.spatial import UniformGridIndex
 from repro.phy.constants import DEFAULT_TX_POWER_DBM, SpreadingFactor
 from repro.phy.link import LinkCapacityModel
 from repro.phy.pathloss import LogDistancePathLoss, PathLossModel
@@ -94,7 +95,26 @@ class TimeVaryingTopology:
             raise ValueError("position_cache_window_s must be non-negative")
         self._cache_window = position_cache_window_s
         self._cache_bucket: Optional[int] = None
+        self._exact_cache_time: Optional[float] = None
         self._cached_positions: Dict[str, Optional[Point]] = {}
+        # Devices visit the grid index through their coarse (bucket-start)
+        # positions; devices without a coarse position fall outside the index
+        # and are tracked separately.  Gateways never move, so their index is
+        # built once.
+        self._device_index: Optional[UniformGridIndex] = None
+        self._unindexed_device_ids: List[str] = []
+        self._device_order: Dict[str, int] = {
+            device_id: i for i, device_id in enumerate(self.devices)
+        }
+        self._sink_index = UniformGridIndex.from_positions(
+            {s.node_id: s.position for s in sinks}, config.gateway_range_m
+        )
+        #: Query statistics (reset with :meth:`reset_query_stats`); the spatial
+        #: micro-benchmark asserts the index examines far fewer candidates than
+        #: a full scan would.
+        self.neighbour_query_count = 0
+        self.neighbour_candidate_count = 0
+        self.index_rebuild_count = 0
 
     # ------------------------------------------------------------------ #
     # Positions
@@ -149,7 +169,10 @@ class TimeVaryingTopology:
             return None, disconnected
         best_id: Optional[str] = None
         best_state = disconnected
-        for sink in self.sinks.values():
+        for sink_id in self._sink_index.candidates_in_disc(
+            position, self.config.gateway_range_m
+        ):
+            sink = self.sinks[sink_id]
             state = self._link_state(position, sink.position, self.config.gateway_range_m)
             if state.connected and (best_id is None or state.rssi_dbm > best_state.rssi_dbm):
                 best_id = sink.node_id
@@ -167,58 +190,92 @@ class TimeVaryingTopology:
         if position is None:
             return []
         result: List[Tuple[str, LinkState]] = []
-        for sink in self.sinks.values():
+        for sink_id in self._sink_index.candidates_in_disc(
+            position, self.config.gateway_range_m
+        ):
+            sink = self.sinks[sink_id]
             state = self._link_state(position, sink.position, self.config.gateway_range_m)
             if state.connected:
                 result.append((sink.node_id, state))
         return result
 
-    def _coarse_positions(self, time: float) -> Dict[str, Optional[Point]]:
-        """Per-device positions sampled at the start of the current cache window.
+    def _refresh_spatial_cache(self, time: float) -> None:
+        """Rebuild the coarse positions and the device grid index when stale.
 
-        Used only as a coarse candidate filter; exact positions are always
-        recomputed for the candidates that survive the filter, so the cache
-        never changes connectivity decisions, it only avoids interpolating the
-        whole fleet on every query.
+        Coarse positions are sampled at the start of the current cache window
+        (or at ``time`` exactly when the window is zero) and hashed into a
+        :class:`UniformGridIndex` with cell size equal to the device range.
+        They are only a candidate filter; exact positions are always
+        recomputed for the candidates that survive it, so the cache never
+        changes connectivity decisions, it only avoids interpolating — and now
+        scanning — the whole fleet on every query.
         """
         if self._cache_window <= 0:
-            return {d.node_id: d.position_at(time) for d in self.devices.values()}
-        bucket = int(time // self._cache_window)
-        if bucket != self._cache_bucket:
-            bucket_time = bucket * self._cache_window
-            self._cached_positions = {
-                d.node_id: d.position_at(bucket_time) for d in self.devices.values()
-            }
+            if self._exact_cache_time == time and self._device_index is not None:
+                return
+            sample_time = time
+            self._exact_cache_time = time
+        else:
+            bucket = int(time // self._cache_window)
+            if bucket == self._cache_bucket and self._device_index is not None:
+                return
+            sample_time = bucket * self._cache_window
             self._cache_bucket = bucket
-        return self._cached_positions
+        self._cached_positions = {
+            d.node_id: d.position_at(sample_time) for d in self.devices.values()
+        }
+        self._device_index = UniformGridIndex(self.config.device_range_m)
+        self._unindexed_device_ids = []
+        for device_id, coarse_position in self._cached_positions.items():
+            if coarse_position is None:
+                self._unindexed_device_ids.append(device_id)
+            else:
+                self._device_index.insert(device_id, coarse_position)
+        self.index_rebuild_count += 1
 
     def neighbours(self, device_id: str, time: float) -> List[Tuple[str, LinkState]]:
         """Opportunistic neighbours D_x(t): active devices with a live link to ``device_id``."""
         position = self.device_position(device_id, time)
         if position is None:
             return []
-        coarse = self._coarse_positions(time)
+        self._refresh_spatial_cache(time)
+        assert self._device_index is not None
         margin = 2.0 * self.MAX_DEVICE_SPEED_MPS * self._cache_window
         coarse_range = self.config.device_range_m + margin
+        candidates = self._device_index.ids_in_square(position, coarse_range)
+        if self._unindexed_device_ids:
+            # Devices with no coarse position (off the road at the sample
+            # instant) bypass the grid; while the cache window is live they
+            # are only considered when active right now — exactly the filter
+            # the full scan applied.
+            extra = [
+                other_id
+                for other_id in self._unindexed_device_ids
+                if self._cache_window <= 0 or self.devices[other_id].is_active(time)
+            ]
+            if extra:
+                candidates = sorted(
+                    candidates + extra, key=self._device_order.__getitem__
+                )
+        self.neighbour_query_count += 1
         result: List[Tuple[str, LinkState]] = []
-        for other in self.devices.values():
-            if other.node_id == device_id:
+        for other_id in candidates:
+            if other_id == device_id:
                 continue
-            coarse_position = coarse.get(other.node_id)
-            if coarse_position is not None:
-                if abs(coarse_position.x - position.x) > coarse_range:
-                    continue
-                if abs(coarse_position.y - position.y) > coarse_range:
-                    continue
-            elif self._cache_window > 0 and not other.is_active(time):
-                continue
-            other_position = other.position_at(time)
+            self.neighbour_candidate_count += 1
+            other_position = self.devices[other_id].position_at(time)
             if other_position is None:
                 continue
             state = self._link_state(position, other_position, self.config.device_range_m)
             if state.connected:
-                result.append((other.node_id, state))
+                result.append((other_id, state))
         return result
+
+    def reset_query_stats(self) -> None:
+        """Zero the neighbour-query/candidate/rebuild counters."""
+        self.neighbour_query_count = 0
+        self.neighbour_candidate_count = 0
+        self.index_rebuild_count = 0
 
     def in_contact(self, x: str, y: str, time: float) -> bool:
         """True when devices ``x`` and ``y`` can communicate at ``time``."""

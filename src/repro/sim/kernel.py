@@ -137,12 +137,11 @@ class Simulator:
         fired = 0
         self._running = True
         try:
-            while self._queue:
+            while True:
                 next_time = self._queue.peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
-                    self._now = until
                     break
                 event = self._queue.pop()
                 self._now = event.time
@@ -150,8 +149,13 @@ class Simulator:
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     break
-            else:
-                if until is not None and self._now < until:
+            # The run covered everything scheduled up to ``until``: land the
+            # clock exactly there.  When ``max_events`` stopped us with events
+            # still due at or before ``until``, the clock stays at the last
+            # fired event so a follow-up run() resumes without time travel.
+            if until is not None and self._now < until:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > until:
                     self._now = until
         finally:
             self._running = False

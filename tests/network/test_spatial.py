@@ -1,0 +1,227 @@
+"""Property tests for the uniform-grid spatial index.
+
+The grid is a pure candidate filter: for any layout it must reproduce the
+brute-force answer exactly — including nodes straddling cell boundaries and
+nodes at distance exactly equal to the communication range.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.geometry import Point
+from repro.mobility.trace import MobilityTrace, TracePoint
+from repro.network.node import DeviceNode, SinkNode
+from repro.network.spatial import UniformGridIndex
+from repro.network.topology import TimeVaryingTopology, TopologyConfig
+from repro.phy.link import LinkCapacityModel
+from repro.phy.pathloss import DiscPathLoss
+
+#: Coordinates covering negative space and values far beyond one cell.
+_coordinates = st.floats(
+    min_value=-5000.0, max_value=5000.0, allow_nan=False, allow_infinity=False
+)
+_layouts = st.lists(st.tuples(_coordinates, _coordinates), min_size=1, max_size=50)
+
+
+def _build_index(points, cell_size):
+    return UniformGridIndex.from_positions(
+        {f"n{i}": Point(x, y) for i, (x, y) in enumerate(points)}, cell_size
+    )
+
+
+class TestUniformGridIndex:
+    def test_rejects_non_positive_cell_size(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(0.0)
+
+    def test_rejects_duplicate_ids(self):
+        index = UniformGridIndex(100.0)
+        index.insert("a", Point(0, 0))
+        with pytest.raises(ValueError):
+            index.insert("a", Point(50, 50))
+
+    def test_rejects_negative_query_ranges(self):
+        index = UniformGridIndex(100.0)
+        with pytest.raises(ValueError):
+            index.candidates_in_disc(Point(0, 0), -1.0)
+        with pytest.raises(ValueError):
+            index.ids_in_square(Point(0, 0), -1.0)
+
+    def test_contains_and_position_roundtrip(self):
+        index = _build_index([(1.0, 2.0)], 10.0)
+        assert "n0" in index and "n1" not in index
+        assert index.position_of("n0") == Point(1.0, 2.0)
+        assert len(index) == 1 and index.cell_count == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=_layouts, cell=st.floats(min_value=1.0, max_value=2000.0),
+           cx=_coordinates, cy=_coordinates,
+           radius=st.floats(min_value=0.0, max_value=3000.0))
+    def test_disc_candidates_are_a_superset_of_the_true_disc(
+        self, points, cell, cx, cy, radius
+    ):
+        index = _build_index(points, cell)
+        center = Point(cx, cy)
+        candidates = set(index.candidates_in_disc(center, radius))
+        in_disc = {
+            f"n{i}"
+            for i, (x, y) in enumerate(points)
+            if math.hypot(x - cx, y - cy) <= radius
+        }
+        assert in_disc <= candidates
+
+    @settings(max_examples=60, deadline=None)
+    @given(points=_layouts, cell=st.floats(min_value=1.0, max_value=2000.0),
+           cx=_coordinates, cy=_coordinates,
+           half=st.floats(min_value=0.0, max_value=3000.0))
+    def test_square_query_matches_bruteforce_exactly(self, points, cell, cx, cy, half):
+        index = _build_index(points, cell)
+        result = index.ids_in_square(Point(cx, cy), half)
+        expected = [
+            f"n{i}"
+            for i, (x, y) in enumerate(points)
+            if abs(x - cx) <= half and abs(y - cy) <= half
+        ]
+        # Exact same membership AND insertion order.
+        assert result == expected
+
+    def test_point_on_cell_boundary_found_from_both_sides(self):
+        # 100 m cells: a point at exactly x=100 hashes into cell 1 but must be
+        # found by queries centred in cell 0 and cell 1 alike.
+        index = _build_index([(100.0, 0.0)], 100.0)
+        assert index.ids_in_square(Point(99.0, 0.0), 1.0) == ["n0"]
+        assert index.ids_in_square(Point(101.0, 0.0), 1.0) == ["n0"]
+
+    def test_distance_exactly_equal_to_radius_is_candidate(self):
+        index = _build_index([(500.0, 0.0)], 500.0)
+        assert "n0" in index.candidates_in_disc(Point(0.0, 0.0), 500.0)
+        assert index.ids_in_square(Point(0.0, 0.0), 500.0) == ["n0"]
+
+
+# --------------------------------------------------------------------- #
+# Topology-level equivalence: grid-indexed queries == brute force
+# --------------------------------------------------------------------- #
+def _static_device(device_id, x, y, start=0.0, end=1000.0):
+    return DeviceNode(device_id, MobilityTrace.static(Point(x, y), start=start, end=end))
+
+
+def _topology(devices, sinks, device_range, gateway_range, cache_window=0.0):
+    return TimeVaryingTopology(
+        devices=devices,
+        sinks=sinks,
+        config=TopologyConfig(
+            gateway_range_m=gateway_range, device_range_m=device_range
+        ),
+        path_loss=DiscPathLoss(radius_m=50_000.0, in_range_rssi_dbm=-90.0),
+        capacity_model=LinkCapacityModel(
+            max_capacity_bps=100.0, rssi_min_dbm=-120.0, rssi_max_dbm=-80.0
+        ),
+        position_cache_window_s=cache_window,
+    )
+
+
+class TestTopologyAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        device_points=st.lists(
+            st.tuples(_coordinates, _coordinates), min_size=2, max_size=25
+        ),
+        sink_points=st.lists(
+            st.tuples(_coordinates, _coordinates), min_size=1, max_size=8
+        ),
+        device_range=st.floats(min_value=10.0, max_value=2000.0),
+        gateway_range=st.floats(min_value=10.0, max_value=2000.0),
+    )
+    def test_neighbours_and_gateways_match_bruteforce(
+        self, device_points, sink_points, device_range, gateway_range
+    ):
+        devices = [
+            _static_device(f"d{i}", x, y) for i, (x, y) in enumerate(device_points)
+        ]
+        sinks = [SinkNode(f"g{i}", Point(x, y)) for i, (x, y) in enumerate(sink_points)]
+        topology = _topology(devices, sinks, device_range, gateway_range)
+        time = 10.0
+        for i, (x, y) in enumerate(device_points):
+            neighbours = [n for n, _ in topology.neighbours(f"d{i}", time)]
+            expected_neighbours = [
+                f"d{j}"
+                for j, (ox, oy) in enumerate(device_points)
+                if j != i and math.hypot(ox - x, oy - y) <= device_range
+            ]
+            assert neighbours == expected_neighbours
+            gateways = [g for g, _ in topology.gateways_in_range(f"d{i}", time)]
+            expected_gateways = [
+                f"g{j}"
+                for j, (gx, gy) in enumerate(sink_points)
+                if math.hypot(gx - x, gy - y) <= gateway_range
+            ]
+            assert gateways == expected_gateways
+
+    def test_neighbour_at_distance_exactly_range_is_connected(self):
+        devices = [_static_device("a", 0.0, 0.0), _static_device("b", 500.0, 0.0)]
+        topology = _topology(devices, [SinkNode("g", Point(9000, 9000))], 500.0, 1000.0)
+        assert [n for n, _ in topology.neighbours("a", 1.0)] == ["b"]
+
+    def test_neighbours_straddling_cell_boundaries(self):
+        # Devices placed just either side of multiples of the 500 m cell size.
+        coords = [(-0.001, 0.0), (499.999, 0.0), (500.001, 0.0), (999.999, 0.0),
+                  (1000.001, 0.0), (-499.999, 0.0), (-500.001, 0.0)]
+        devices = [_static_device(f"d{i}", x, y) for i, (x, y) in enumerate(coords)]
+        topology = _topology(devices, [SinkNode("g", Point(9000, 9000))], 500.0, 1000.0)
+        for i, (x, y) in enumerate(coords):
+            expected = [
+                f"d{j}"
+                for j, (ox, oy) in enumerate(coords)
+                if j != i and math.hypot(ox - x, oy - y) <= 500.0
+            ]
+            assert [n for n, _ in topology.neighbours(f"d{i}", 5.0)] == expected
+
+    def test_inactive_devices_never_appear(self):
+        devices = [
+            _static_device("a", 0.0, 0.0),
+            _static_device("gone", 10.0, 0.0, start=0.0, end=50.0),
+        ]
+        topology = _topology(devices, [SinkNode("g", Point(9000, 9000))], 500.0, 1000.0)
+        assert [n for n, _ in topology.neighbours("a", 60.0)] == []
+
+    def test_cached_window_matches_exact_for_moving_devices(self):
+        def mover(device_id, x0, x1):
+            trace = MobilityTrace(
+                [TracePoint(0.0, Point(x0, 0.0)), TracePoint(1000.0, Point(x1, 0.0))],
+                node_id=device_id,
+            )
+            return DeviceNode(device_id, trace)
+
+        devices = [
+            mover("a", 0.0, 100.0),
+            mover("b", 450.0, 550.0),
+            mover("c", 3000.0, 3100.0),
+        ]
+        sinks = [SinkNode("g", Point(9000, 9000))]
+        exact = _topology(devices, sinks, 500.0, 1000.0, cache_window=0.0)
+        cached = _topology(devices, sinks, 500.0, 1000.0, cache_window=30.0)
+        for time in (0.0, 10.0, 29.9, 30.0, 123.4, 500.0, 999.0):
+            assert [n for n, _ in exact.neighbours("a", time)] == [
+                n for n, _ in cached.neighbours("a", time)
+            ]
+
+    def test_query_stats_show_pruning(self):
+        # 100 devices on a 450 m lattice; each 500 m query should examine only
+        # a 3×3-cell block, far fewer than the 99 candidates a full scan sees.
+        devices = [
+            _static_device(f"d{i}", (i % 10) * 450.0, (i // 10) * 450.0)
+            for i in range(100)
+        ]
+        topology = _topology(devices, [SinkNode("g", Point(90_000, 90_000))], 500.0, 1000.0)
+        for i in range(100):
+            topology.neighbours(f"d{i}", 1.0)
+        full_scan = topology.neighbour_query_count * (len(devices) - 1)
+        assert topology.neighbour_query_count == 100
+        assert 0 < topology.neighbour_candidate_count < full_scan / 4
+        topology.reset_query_stats()
+        assert topology.neighbour_query_count == 0
+        assert topology.neighbour_candidate_count == 0
+        assert topology.index_rebuild_count == 0

@@ -63,6 +63,68 @@ class TestSimulatorScheduling:
         assert sim.pending_events == 1
 
 
+class TestRunUntilClock:
+    """The clock must land exactly on ``until`` whenever the run covered
+    everything scheduled up to it — including early queue drains and
+    ``max_events`` stops — and must never pass it."""
+
+    def test_clock_lands_on_until_when_queue_drains_early(self):
+        sim = Simulator()
+        sim.schedule(1.0)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_clock_lands_on_until_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_clock_lands_on_until_when_max_events_exhausts_queue(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t)
+        fired = sim.run(until=10.0, max_events=3)
+        assert fired == 3
+        assert sim.now == 10.0
+
+    def test_clock_lands_on_until_when_remaining_events_are_later(self):
+        sim = Simulator()
+        sim.schedule(1.0)
+        sim.schedule(50.0)
+        sim.run(until=10.0, max_events=1)
+        assert sim.now == 10.0
+        assert sim.pending_events == 1
+
+    def test_clock_stays_at_last_event_when_backlog_remains(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t)
+        sim.run(until=10.0, max_events=1)
+        # Events at 2.0 and 3.0 are still due before `until`: jumping to 10.0
+        # would time-travel past them, so the clock holds at the fired event.
+        assert sim.now == 1.0
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        assert sim.pending_events == 0
+
+    def test_clock_never_passes_until(self):
+        sim = Simulator()
+        sim.schedule(4.0)
+        sim.schedule(11.0)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        sim.run(until=12.0)
+        assert sim.now == 12.0
+
+    def test_clock_lands_on_until_when_tail_events_are_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0)
+        tail = sim.schedule(5.0)
+        tail.cancel()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+
 class TestProcesses:
     def test_process_advances_through_timeouts(self):
         sim = Simulator()
