@@ -5,9 +5,14 @@ experiment with your own handover policies without touching the engine.  This
 example implements a simple "forward only to nearly-idle, recently-connected
 neighbours" policy and compares it against ROBC on the same scenario.
 
+A scheme object built here cannot be named in a scenario file or registry
+preset (those resolve scheme *names* via ``repro.routing.SCHEME_REGISTRY``),
+which is why this example hand-builds its ``ScenarioConfig`` instead of
+starting from a preset.
+
 Usage::
 
-    python examples/custom_forwarding_scheme.py
+    PYTHONPATH=src python examples/custom_forwarding_scheme.py
 """
 
 from repro.experiments import ScenarioConfig

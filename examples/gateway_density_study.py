@@ -2,31 +2,35 @@
 
 Sweeps the number of gateways for a fixed bus network and prints delay and
 throughput per scheme, i.e. a reduced version of the paper's Figs. 8 and 9.
-The nine runs are independent, so they fan out over one worker process per
-CPU; results are identical to a serial sweep (the runs are seed-determined),
-and re-running the study serves finished runs from the on-disk cache.
+The base scenario comes from the registry (the CI-sized ``rural-smoke``
+preset, lengthened to two hours); the nine runs fan out over one worker
+process per CPU via the :class:`SweepExecutor` and are served from the
+on-disk cache on a re-run — results are identical in every mode, because
+each run is fully determined by its configuration.
+
+The CLI equivalent of the full-size version of this study is
+``repro sweep fig8``/``repro sweep fig9``.
 
 Usage::
 
-    python examples/gateway_density_study.py
+    PYTHONPATH=src python examples/gateway_density_study.py
 """
 
 import os
 
-from repro.experiments import ScenarioConfig, SweepExecutor
+from repro.experiments import SweepExecutor, get_preset
+from repro.experiments.registry import apply_overrides
 from repro.experiments.reporting import format_table
 from repro.experiments.sweeps import run_gateway_sweep
 
 
 def main() -> None:
-    base = ScenarioConfig(
-        name="gateway-density-study",
-        seed=17,
+    base = apply_overrides(
+        get_preset("rural-smoke").config,
         duration_s=2 * 3600.0,
-        area_km2=48.0,
         num_routes=10,
         trips_per_route=4,
-        device_range_m=1000.0,
+        seed=17,
     )
     cache_dir = os.path.join(os.path.dirname(__file__), ".sweep-cache")
     if os.path.isdir(cache_dir) and os.listdir(cache_dir):

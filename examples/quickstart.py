@@ -1,30 +1,25 @@
 """Quickstart: run one small MLoRa-SS simulation and print its metrics.
 
+Runs the registered ``quickstart`` preset — the same scenario as
+``repro run quickstart`` — through the Python API.  The two entry points are
+bit-identical; use whichever fits your workflow.
+
 Usage::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments import get_preset, run_scenario
 
 
 def main() -> None:
     # A small scenario: a 30 km2 slice of the city, 4 gateways on a grid,
     # 24 buses running for two hours, ROBC forwarding between them.
-    config = ScenarioConfig(
-        name="quickstart",
-        seed=42,
-        duration_s=2 * 3600.0,
-        area_km2=30.0,
-        num_gateways=4,
-        num_routes=6,
-        trips_per_route=4,
-        device_range_m=1000.0,
-        scheme="robc",
-    )
+    preset = get_preset("quickstart")
+    config = preset.config
     metrics = run_scenario(config)
 
-    print("Quickstart ROBC run")
+    print("Quickstart ROBC run (preset `quickstart`)")
     print(f"  devices (bus trips):       {config.num_routes * config.trips_per_route}")
     print(f"  messages generated:        {metrics.messages_generated}")
     print(f"  messages delivered:        {metrics.messages_delivered}")

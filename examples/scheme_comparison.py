@@ -1,34 +1,35 @@
 """Compare NoRouting, RCA-ETX and ROBC on the same bus-network scenario.
 
-This is a miniature version of the paper's evaluation: the same synthetic
-London-like bus network is simulated once per forwarding scheme and the
-delay / throughput / hop-count / overhead metrics are printed side by side
-(the quantities plotted in Figs. 8, 9, 12 and 13).
+This is a miniature version of the paper's evaluation: one registry preset
+(`quickstart`, lengthened to three hours) is simulated once per forwarding
+scheme — derived with ``apply_overrides``, exactly what the CLI's
+``repro run quickstart --scheme rca-etx`` does — and the delay / throughput /
+hop-count / overhead metrics are printed side by side (the quantities
+plotted in Figs. 8, 9, 12 and 13).
 
 Usage::
 
-    python examples/scheme_comparison.py
+    PYTHONPATH=src python examples/scheme_comparison.py
 """
 
 from repro.analysis.stats import improvement_percent, reduction_percent
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.experiments import get_preset, run_scenario
+from repro.experiments.registry import apply_overrides
 from repro.experiments.reporting import format_table
 
 
 def main() -> None:
-    base = ScenarioConfig(
-        name="scheme-comparison",
-        seed=11,
+    base = apply_overrides(
+        get_preset("quickstart").config,
         duration_s=3 * 3600.0,
-        area_km2=60.0,
-        num_gateways=5,
         num_routes=10,
         trips_per_route=6,
-        device_range_m=1000.0,
+        num_gateways=5,
+        seed=11,
     )
 
     runs = {
-        scheme: run_scenario(base.with_scheme(scheme))
+        scheme: run_scenario(apply_overrides(base, scheme=scheme))
         for scheme in ("no-routing", "rca-etx", "robc")
     }
 

@@ -1,8 +1,9 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` works in offline environments whose toolchain lacks
-the ``wheel`` package required by PEP 517 editable installs.
+The project metadata — including the ``repro`` console entry point — lives in
+``pyproject.toml``; this file only exists so that ``pip install -e .`` works
+in offline environments whose toolchain lacks the ``wheel`` package required
+by PEP 517 editable installs.
 """
 
 from setuptools import setup

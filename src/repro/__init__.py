@@ -10,18 +10,20 @@ The package provides:
   kernel, a LoRa PHY, a LoRaWAN MAC, a synthetic London bus network and a
   time-varying contact topology (:mod:`repro.sim`, :mod:`repro.phy`,
   :mod:`repro.mobility`, :mod:`repro.network`);
-* an experiment harness reproducing every figure of the paper's evaluation
+* an experiment harness reproducing every figure of the paper's evaluation,
+  with a scenario-preset registry and the ``repro`` CLI on top
   (:mod:`repro.experiments`, :mod:`repro.analysis`).
 
 Quickstart::
 
-    from repro.experiments import ScenarioConfig, run_scenario
+    from repro.experiments import get_preset, run_scenario
 
-    config = ScenarioConfig(duration_s=2 * 3600, num_gateways=6,
-                            area_km2=60, num_routes=8, trips_per_route=6,
-                            scheme="robc")
-    metrics = run_scenario(config)
+    metrics = run_scenario(get_preset("urban").config)
     print(metrics.mean_delay_s, metrics.throughput_messages)
+
+or, from a shell, the bit-identical ``repro run urban`` (see ``repro list``
+for the full catalogue, and docs/scenarios.md for what each preset
+reproduces).
 """
 
 from repro.analysis import RunMetrics

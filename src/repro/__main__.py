@@ -1,0 +1,12 @@
+"""``python -m repro`` — the no-install route to the ``repro`` CLI.
+
+Equivalent to the ``repro`` console script installed by ``pip install -e .``;
+from a source checkout run it as ``PYTHONPATH=src python -m repro …``.
+"""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,15 @@
   device range and schemes.
 * :mod:`repro.experiments.figures` — one entry point per paper figure
   (Figs. 7–13) plus the ablations listed in DESIGN.md.
-* :mod:`repro.experiments.reporting` — plain-text tables of the results.
+* :mod:`repro.experiments.registry` — named scenario presets (urban, rural,
+  ablation points, synthetic variants) and per-figure sweep presets; the
+  catalogue ``docs/scenarios.md`` is generated from it.
+* :mod:`repro.experiments.serialization` — lossless, digest-stable
+  ScenarioConfig ⇄ JSON/TOML round trips so scenarios are shareable files.
+* :mod:`repro.experiments.cli` — the ``repro`` console entry point
+  (``repro list | describe | run | sweep | export | docs``).
+* :mod:`repro.experiments.reporting` — plain-text tables plus the CSV/JSON
+  artifact writers behind ``repro … --out``.
 """
 
 from repro.experiments.config import ScenarioConfig
@@ -25,12 +33,42 @@ from repro.experiments.parallel import (
     replication_specs,
     sweep_specs,
 )
+from repro.experiments.registry import (
+    ScenarioPreset,
+    SweepPreset,
+    get_preset,
+    get_sweep,
+    iter_presets,
+    iter_sweeps,
+    preset_names,
+    resolve_scenario,
+    sweep_names,
+)
 from repro.experiments.runner import MLoRaSimulation, run_scenario
 from repro.experiments.scenario import BuiltScenario, build_scenario
+from repro.experiments.serialization import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
 from repro.experiments.sweeps import SweepResult, run_gateway_sweep, run_replications
 
 __all__ = [
     "ScenarioConfig",
+    "ScenarioPreset",
+    "SweepPreset",
+    "get_preset",
+    "get_sweep",
+    "iter_presets",
+    "iter_sweeps",
+    "preset_names",
+    "sweep_names",
+    "resolve_scenario",
+    "load_scenario",
+    "save_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
     "MLoRaSimulation",
     "run_scenario",
     "BuiltScenario",

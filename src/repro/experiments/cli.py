@@ -1,0 +1,376 @@
+"""The ``repro`` command-line interface.
+
+One console entry point over the whole experiment harness::
+
+    repro list                           # catalogue of presets and sweeps
+    repro describe urban                 # parameters + provenance of a preset
+    repro run urban --workers 4          # run a preset (or a .json/.toml file)
+    repro run urban --scheme rca-etx     # parameterized variant
+    repro sweep fig9 --scale smoke       # reproduce a paper figure
+    repro export urban urban.toml        # share a scenario as a file
+    repro docs --check                   # verify docs/scenarios.md is current
+
+Every command is a thin shell over library calls — ``repro run <name>`` is
+``SweepExecutor().run([RunSpec(config=get_preset(name).config)])``, nothing
+more — so CLI results are bit-identical to the Python API (pinned by
+``tests/experiments/test_cli.py``).  ``--cache DIR`` shares the executor's
+on-disk RunMetrics cache across invocations; because scenario serialization
+is digest-stable, a scenario exported to a file and run back from it hits
+the same cache entries as the preset it came from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.experiments.parallel import RunOutcome, RunSpec, SweepExecutor, config_digest
+from repro.experiments.registry import (
+    SweepArtifact,
+    apply_overrides,
+    get_preset,
+    get_sweep,
+    iter_presets,
+    iter_sweeps,
+    preset_names,
+    render_scenarios_markdown,
+    resolve_scale,
+    resolve_scenario,
+)
+from repro.experiments.scenario import device_class_names, make_device_class
+from repro.experiments.reporting import (
+    format_run_summary,
+    format_table,
+    metrics_to_dict,
+    write_json,
+    write_metrics_csv,
+    write_rows_csv,
+)
+from repro.experiments.serialization import (
+    ScenarioFormatError,
+    save_scenario,
+    scenario_to_json,
+)
+from repro.routing import SCHEME_REGISTRY, make_scheme
+
+#: Default location of the generated scenario catalogue, relative to CWD.
+SCENARIOS_DOC_PATH = Path("docs") / "scenarios.md"
+
+
+class CLIError(Exception):
+    """A user-facing CLI failure (bad name, bad file, bad flag value)."""
+
+
+def _message(exc: BaseException) -> str:
+    # str(KeyError) is the repr of its argument; unwrap to the clean message.
+    if isinstance(exc, KeyError) and exc.args:
+        return str(exc.args[0])
+    return str(exc)
+
+
+# --------------------------------------------------------------------- #
+# Core operations (used by both the CLI and the equivalence tests)
+# --------------------------------------------------------------------- #
+def build_executor(
+    workers: Optional[int], cache_dir: Optional[str]
+) -> SweepExecutor:
+    """The executor implied by ``--workers``/``--cache`` (env fallback)."""
+    try:
+        if workers is None:
+            return SweepExecutor.from_env(default_workers=1, cache_dir=cache_dir)
+        return SweepExecutor(workers=workers, cache_dir=cache_dir)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+
+
+def run_target(
+    target: str,
+    executor: Optional[SweepExecutor] = None,
+    **overrides: Any,
+) -> RunOutcome:
+    """Run one scenario (preset name or file path) and return its outcome."""
+    try:
+        config = resolve_scenario(target)
+    except (KeyError, ScenarioFormatError) as exc:
+        raise CLIError(_message(exc)) from exc
+    try:
+        config = apply_overrides(config, **overrides)
+    except ValueError as exc:
+        raise CLIError(f"invalid override: {exc}") from exc
+    # Fail on a typo'd scheme / device class here, not mid-build inside a
+    # worker process (overrides and hand-edited scenario files both reach this).
+    try:
+        make_scheme(config.scheme)
+        make_device_class(config.device_class)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    executor = executor or SweepExecutor()
+    return executor.run([RunSpec(config=config)])[0]
+
+
+def run_sweep(
+    name: str,
+    scale: Any = None,
+    executor: Optional[SweepExecutor] = None,
+) -> SweepArtifact:
+    """Run one figure/ablation sweep at the requested scale."""
+    try:
+        sweep = get_sweep(name)
+        resolved = resolve_scale(scale)
+    except (KeyError, ValueError) as exc:
+        raise CLIError(_message(exc)) from exc
+    return sweep.runner(resolved, executor)
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    preset_rows = [
+        (
+            preset.name,
+            preset.config.scheme,
+            preset.config.num_gateways,
+            f"{preset.config.device_range_m:g}",
+            f"{preset.config.duration_s / 3600.0:g}",
+            preset.figure or "-",
+        )
+        for preset in iter_presets()
+    ]
+    print("Scenario presets (repro run <name>):")
+    print(format_table(
+        ("name", "scheme", "gw", "d2d [m]", "hours", "reproduces"), preset_rows
+    ))
+    sweep_rows = [
+        (sweep.name, sweep.figure or "-", sweep.description) for sweep in iter_sweeps()
+    ]
+    print("\nFigure sweeps (repro sweep <name>):")
+    print(format_table(("name", "reproduces", "description"), sweep_rows))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    name = args.name
+    try:
+        preset = get_preset(name)
+    except KeyError:
+        try:
+            sweep = get_sweep(name)
+        except KeyError:
+            raise CLIError(
+                f"unknown preset or sweep {name!r}; see `repro list`"
+            ) from None
+        print(f"sweep {sweep.name}")
+        print(f"reproduces: {sweep.figure or '-'}")
+        print(sweep.description)
+        print("\nrun it with: repro sweep "
+              f"{sweep.name} --scale benchmark [--workers N] [--out DIR]")
+        return 0
+    print(f"preset {preset.name}")
+    print(f"reproduces: {preset.figure or '- (synthetic variant)'}")
+    print(f"tags: {', '.join(preset.tags) if preset.tags else '-'}")
+    print(f"config digest: {config_digest(preset.config)}")
+    print(f"\n{preset.description}\n")
+    print(scenario_to_json(preset.config), end="")
+    return 0
+
+
+def _overrides_from(args: argparse.Namespace) -> dict:
+    return {
+        "scale": args.scale,
+        "scheme": args.scheme,
+        "device_class": args.device_class,
+        "num_gateways": args.gateways,
+        "device_range_m": args.range,
+        "gateway_placement": args.placement,
+        "num_routes": args.routes,
+        "trips_per_route": args.trips,
+        "duration_s": args.duration,
+        "seed": args.seed,
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    executor = build_executor(args.workers, args.cache)
+    outcome = run_target(args.target, executor=executor, **_overrides_from(args))
+    metrics = outcome.metrics
+    config = outcome.spec.config
+    source = "cache" if outcome.from_cache else f"{outcome.wall_time_s:.2f}s"
+    print(format_run_summary(f"run {config.name} [{source}]", metrics))
+    if args.out:
+        out_dir = Path(args.out)
+        write_json(metrics_to_dict(metrics), out_dir / "metrics.json")
+        write_metrics_csv([metrics], out_dir / "metrics.csv")
+        save_scenario(config, out_dir / "scenario.json")
+        print(f"\nartifacts written to {out_dir}/ (metrics.json, metrics.csv, scenario.json)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    executor = build_executor(args.workers, args.cache)
+    artifact = run_sweep(args.figure, scale=args.scale, executor=executor)
+    print(artifact.text)
+    if args.out:
+        out_dir = Path(args.out)
+        write_rows_csv(artifact.rows, out_dir / f"{artifact.name}.csv")
+        write_json(artifact.rows, out_dir / f"{artifact.name}.json")
+        print(f"\nartifacts written to {out_dir}/ "
+              f"({artifact.name}.csv, {artifact.name}.json)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    try:
+        config = resolve_scenario(args.target)
+    except (KeyError, ScenarioFormatError) as exc:
+        raise CLIError(_message(exc)) from exc
+    try:
+        path = save_scenario(config, args.dest)
+    except ScenarioFormatError as exc:
+        raise CLIError(str(exc)) from exc
+    print(f"wrote {path} (digest {config_digest(config)})")
+    return 0
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    rendered = render_scenarios_markdown()
+    if args.write:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        print(f"wrote {path}")
+        return 0
+    if not path.is_file():
+        raise CLIError(
+            f"{path} does not exist — run from the repository root (or pass "
+            "--path); create it with: repro docs --write"
+        )
+    current = path.read_text(encoding="utf-8")
+    if current != rendered:
+        print(
+            f"{path} is out of date with repro.experiments.registry; "
+            "regenerate with: repro docs --write",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{path} is up to date")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_SWEEP_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="on-disk RunMetrics cache directory shared across invocations",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write CSV/JSON artifacts into this directory",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction driver for the MLoRa-SS paper: run named scenario "
+            "presets, scenario files and per-figure sweeps."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list", help="catalogue of scenario presets and figure sweeps"
+    ).set_defaults(func=_cmd_list)
+
+    describe = subparsers.add_parser(
+        "describe", help="full parameters and provenance of a preset or sweep"
+    )
+    describe.add_argument("name", help="preset or sweep name")
+    describe.set_defaults(func=_cmd_describe)
+
+    run = subparsers.add_parser(
+        "run", help="run one scenario: a preset name or a .json/.toml file"
+    )
+    run.add_argument("target", help=f"preset ({', '.join(preset_names())}) or scenario file")
+    _add_executor_flags(run)
+    run.add_argument("--scale", type=float, default=None,
+                     help="density-preserving spatial shrink factor in (0, 1]")
+    run.add_argument("--scheme", default=None,
+                     help=f"forwarding scheme ({', '.join(sorted(SCHEME_REGISTRY))})")
+    run.add_argument("--device-class", default=None, dest="device_class",
+                     help=f"device class ({', '.join(device_class_names())})")
+    run.add_argument("--gateways", type=int, default=None, help="deployed gateway count")
+    run.add_argument("--range", type=float, default=None,
+                     help="device-to-device range in metres (urban 500, rural 1000)")
+    run.add_argument("--placement", default=None, choices=("grid", "random"),
+                     help="gateway placement policy")
+    run.add_argument("--routes", type=int, default=None, help="number of bus routes")
+    run.add_argument("--trips", type=int, default=None, help="trips per route")
+    run.add_argument("--duration", type=float, default=None, help="simulated seconds")
+    run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="reproduce one paper figure or ablation"
+    )
+    sweep.add_argument("figure", help="fig7..fig13, alpha, device-class or placement")
+    sweep.add_argument("--scale", default="benchmark",
+                       help="smoke | benchmark | campaign | spatial-scale float")
+    _add_executor_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    export = subparsers.add_parser(
+        "export", help="write a preset (or scenario file) as shareable JSON/TOML"
+    )
+    export.add_argument("target", help="preset name or scenario file")
+    export.add_argument("dest", help="destination path ending in .json or .toml")
+    export.set_defaults(func=_cmd_export)
+
+    docs = subparsers.add_parser(
+        "docs", help="regenerate or verify the generated docs/scenarios.md"
+    )
+    docs_mode = docs.add_mutually_exclusive_group()
+    docs_mode.add_argument("--write", action="store_true",
+                           help="rewrite the file (default: check only)")
+    docs_mode.add_argument("--check", action="store_true",
+                           help="explicitly check only (the default)")
+    docs.add_argument("--path", default=str(SCENARIOS_DOC_PATH),
+                      help=f"catalogue location (default: {SCENARIOS_DOC_PATH})")
+    docs.set_defaults(func=_cmd_docs)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro`` console script and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro list | head`
+        # Reopen stdout on devnull so the interpreter's shutdown flush does
+        # not raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,10 +1,12 @@
 """Per-figure experiment definitions (Figs. 7–13 plus ablations).
 
 Each ``figureNN`` function runs the simulations needed for one paper figure
-and returns a plain data structure (rows or series) that the reporting layer
-and the benchmark harness print.  All of them take a
-:class:`ReproductionScale` so the same code serves quick benchmark runs and
-larger offline campaigns.
+and returns a plain data structure (rows or series) that the reporting layer,
+the benchmark harness and the ``repro sweep`` CLI print.  All of them take a
+:class:`ReproductionScale` so the same code serves CI smoke runs
+(:data:`SMOKE_SCALE`), quick benchmark runs (:data:`BENCHMARK_SCALE`) and
+larger offline campaigns (:data:`CAMPAIGN_SCALE`), and an optional
+:class:`SweepExecutor` for process-parallel, cache-served execution.
 """
 
 from __future__ import annotations
@@ -76,6 +78,15 @@ CAMPAIGN_SCALE = ReproductionScale(
     spatial_scale=0.25,
     duration_s=DAY_SECONDS,
     gateway_counts=PAPER_GATEWAY_COUNTS,
+)
+
+#: A seconds-not-minutes scale for CI smoke tests and the CLI equivalence
+#: tests: qualitative only, but it exercises every code path of a sweep.
+SMOKE_SCALE = ReproductionScale(
+    spatial_scale=0.05,
+    duration_s=900.0,
+    timeseries_duration_s=3600.0,
+    gateway_counts=(40, 100),
 )
 
 

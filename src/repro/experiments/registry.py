@@ -1,0 +1,804 @@
+"""Named scenario presets and figure sweeps — the single catalogue the
+``repro`` CLI, the examples and the docs are all built from.
+
+Two registries live here:
+
+* **Scenario presets** (:class:`ScenarioPreset`): one fully-specified
+  :class:`~repro.experiments.config.ScenarioConfig` per paper setting (urban,
+  rural, the full-scale Sec. VII-A scenario, device-class and placement
+  ablation points) plus synthetic variants that go beyond the paper (denser
+  gateway deployments, larger fleets, the DTN baseline schemes).  Presets are
+  plain configurations — ``repro run <name>`` and
+  ``run_scenario(get_preset(name).config)`` are the same experiment by
+  construction.
+* **Sweep presets** (:class:`SweepPreset`): one entry per paper figure
+  (Figs. 7–13) and per ablation (α, device class, gateway placement).  Each
+  wraps the corresponding :mod:`repro.experiments.figures` pipeline and
+  returns a uniform :class:`SweepArtifact` (printable text + tabular rows)
+  so the CLI and reporting layer can treat every figure alike.
+
+``render_scenarios_markdown`` generates ``docs/scenarios.md`` from these
+registries; a test pins the file to the generated text so the documentation
+cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import (
+    BENCHMARK_SCALE,
+    CAMPAIGN_SCALE,
+    SMOKE_SCALE,
+    ReproductionScale,
+    ablation_alpha,
+    ablation_device_class,
+    ablation_gateway_placement,
+    figure07_bus_network,
+    figure08_delay,
+    figure09_throughput,
+    figure10_urban_timeseries,
+    figure11_rural_timeseries,
+    figure12_hops,
+    figure13_overhead,
+    run_density_sweep,
+)
+from repro.experiments.parallel import SweepExecutor
+from repro.experiments.reporting import (
+    format_bus_network,
+    format_figure_rows,
+    format_metric_comparison,
+    format_timeseries,
+)
+from repro.experiments.sweeps import RURAL_DEVICE_RANGE_M, URBAN_DEVICE_RANGE_M
+from repro.mobility.london import DAY_SECONDS
+
+#: Named execution scales for ``repro sweep --scale <name>``.
+SCALE_PRESETS: Dict[str, ReproductionScale] = {
+    "smoke": SMOKE_SCALE,
+    "benchmark": BENCHMARK_SCALE,
+    "campaign": CAMPAIGN_SCALE,
+}
+
+
+# --------------------------------------------------------------------- #
+# Scenario presets
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioPreset:
+    """A named, documented, ready-to-run scenario configuration."""
+
+    name: str
+    description: str
+    config: ScenarioConfig
+    #: Which paper figure/section this reproduces ("" for synthetic variants).
+    figure: str = ""
+    tags: Tuple[str, ...] = ()
+
+
+_PRESETS: Dict[str, ScenarioPreset] = {}
+
+
+def register_preset(preset: ScenarioPreset) -> ScenarioPreset:
+    """Add ``preset`` to the registry; names are unique."""
+    if preset.name in _PRESETS:
+        raise ValueError(f"duplicate scenario preset name {preset.name!r}")
+    if preset.config.name != preset.name:
+        raise ValueError(
+            f"preset {preset.name!r} wraps a config named {preset.config.name!r}; "
+            "the two must match so run artifacts are traceable to the preset"
+        )
+    _PRESETS[preset.name] = preset
+    return preset
+
+
+def get_preset(name: str) -> ScenarioPreset:
+    """Look a preset up by name; raises ``KeyError`` with the catalogue."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario preset {name!r}; available: {preset_names()}"
+        ) from None
+
+
+def preset_names() -> List[str]:
+    """All registered preset names, sorted."""
+    return sorted(_PRESETS)
+
+
+def iter_presets() -> List[ScenarioPreset]:
+    """All registered presets in name order."""
+    return [_PRESETS[name] for name in preset_names()]
+
+
+def _paper_point(
+    name: str,
+    *,
+    spatial_scale: float,
+    duration_s: float,
+    nominal_gateways: int,
+    device_range_m: float,
+    scheme: str = "robc",
+    seed: int = 7,
+    **overrides: Any,
+) -> ScenarioConfig:
+    """One operating point of the paper's evaluation grid.
+
+    Mirrors :meth:`ReproductionScale.base_config` + ``sweep_specs`` exactly:
+    the full-size scenario is density-preservingly shrunk and the nominal
+    (paper x-axis) gateway count is scaled the same way, so a preset run is
+    identical to the matching point of a figure sweep up to the scenario
+    ``name`` field (which does not influence simulation).  The sync between
+    the two code paths is pinned by ``tests/experiments/test_registry.py::
+    TestPresets::test_paper_points_match_sweep_spec_configs``.
+    """
+    full = ScenarioConfig(name=name, seed=seed, duration_s=duration_s)
+    config = full.scaled(spatial_scale) if spatial_scale < 1.0 else full
+    return replace(
+        config,
+        num_gateways=max(1, round(nominal_gateways * spatial_scale)),
+        device_range_m=device_range_m,
+        scheme=scheme,
+        **overrides,
+    )
+
+
+def _smoke_point(name: str, device_range_m: float) -> ScenarioConfig:
+    """A sub-second scenario for CI and the CLI smoke/equivalence tests."""
+    return ScenarioConfig(
+        name=name,
+        seed=11,
+        duration_s=1800.0,
+        area_km2=20.0,
+        num_gateways=3,
+        num_routes=4,
+        trips_per_route=2,
+        stops_per_route=5,
+        min_block_repeats=1,
+        max_block_repeats=2,
+        device_range_m=device_range_m,
+        scheme="robc",
+    )
+
+
+# Paper settings ------------------------------------------------------- #
+register_preset(ScenarioPreset(
+    name="urban",
+    description=(
+        "The paper's urban setting (500 m device-to-device range) at benchmark "
+        "scale: a 60 km² slice of the full scenario, 4 simulated hours, the "
+        "70-gateway operating point, ROBC forwarding.  Runs in seconds."
+    ),
+    figure="Figs. 8/9 urban curve, 70-gateway point",
+    tags=("paper", "urban"),
+    config=_paper_point(
+        "urban", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="rural",
+    description=(
+        "The paper's rural setting (1000 m device-to-device range) at benchmark "
+        "scale; otherwise identical to the `urban` preset."
+    ),
+    figure="Figs. 8/9 rural curve, 70-gateway point",
+    tags=("paper", "rural"),
+    config=_paper_point(
+        "rural", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=70, device_range_m=RURAL_DEVICE_RANGE_M,
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="urban-full",
+    description=(
+        "The full-scale Sec. VII-A scenario, urban setting: 600 km², the whole "
+        "synthetic London bus fleet, 60 gateways, 24 simulated hours.  "
+        "Cluster-sized — expect a long run; prefer `urban` for interactive use."
+    ),
+    figure="Sec. VII-A full-scale scenario (urban)",
+    tags=("paper", "urban", "full-scale"),
+    config=_paper_point(
+        "urban-full", spatial_scale=1.0, duration_s=DAY_SECONDS,
+        nominal_gateways=60, device_range_m=URBAN_DEVICE_RANGE_M,
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="rural-full",
+    description=(
+        "The full-scale Sec. VII-A scenario, rural setting (1000 m range); "
+        "otherwise identical to `urban-full`."
+    ),
+    figure="Sec. VII-A full-scale scenario (rural)",
+    tags=("paper", "rural", "full-scale"),
+    config=_paper_point(
+        "rural-full", spatial_scale=1.0, duration_s=DAY_SECONDS,
+        nominal_gateways=60, device_range_m=RURAL_DEVICE_RANGE_M,
+    ),
+))
+
+# Ablation points ------------------------------------------------------ #
+register_preset(ScenarioPreset(
+    name="urban-class-a",
+    description=(
+        "The `urban` preset with Queue-based Class-A devices instead of "
+        "Modified Class-C: the energy/performance trade-off of Sec. VII-C."
+    ),
+    figure="Sec. VII-C queue-based Class-A ablation",
+    tags=("paper", "urban", "ablation"),
+    config=replace(
+        _paper_point(
+            "urban-class-a", spatial_scale=0.10, duration_s=4 * 3600.0,
+            nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        ),
+        device_class="queue-based-class-a",
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="urban-random-placement",
+    description=(
+        "The `urban` preset with uniform-random gateway placement instead of "
+        "the paper's grid: the placement sensitivity discussion of Sec. VII-C."
+    ),
+    figure="Sec. VII-C gateway-placement ablation",
+    tags=("paper", "urban", "ablation"),
+    config=replace(
+        _paper_point(
+            "urban-random-placement", spatial_scale=0.10, duration_s=4 * 3600.0,
+            nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        ),
+        gateway_placement="random",
+    ),
+))
+
+# Synthetic variants beyond the paper ---------------------------------- #
+register_preset(ScenarioPreset(
+    name="dense-gateways",
+    description=(
+        "Urban setting with double the paper's maximum gateway density "
+        "(nominal 140 gateways over the full area): where extra infrastructure "
+        "stops paying off."
+    ),
+    tags=("synthetic", "urban"),
+    config=_paper_point(
+        "dense-gateways", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=140, device_range_m=URBAN_DEVICE_RANGE_M,
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="sparse-gateways",
+    description=(
+        "Urban setting with half the paper's minimum gateway density "
+        "(nominal 20 gateways): a severely disconnected deployment where "
+        "store-carry-forward does most of the work."
+    ),
+    tags=("synthetic", "urban"),
+    config=_paper_point(
+        "sparse-gateways", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=20, device_range_m=URBAN_DEVICE_RANGE_M,
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="mega-fleet",
+    description=(
+        "Urban setting with double the bus-route density (and hence fleet "
+        "size): more contact opportunities per message, heavier channel load."
+    ),
+    tags=("synthetic", "urban"),
+    config=_paper_point(
+        "mega-fleet", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        num_routes=24,
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="epidemic-urban",
+    description=(
+        "Urban setting under the classic epidemic DTN baseline (unbounded "
+        "message copying) instead of the paper's schemes."
+    ),
+    tags=("synthetic", "urban", "dtn"),
+    config=_paper_point(
+        "epidemic-urban", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        scheme="epidemic",
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="spray-and-wait-urban",
+    description=(
+        "Urban setting under binary spray-and-wait (bounded-copy DTN "
+        "baseline) instead of the paper's schemes."
+    ),
+    tags=("synthetic", "urban", "dtn"),
+    config=_paper_point(
+        "spray-and-wait-urban", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        scheme="spray-and-wait",
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="quickstart",
+    description=(
+        "A small friendly first run: 30 km², 4 gateways, 24 buses, 2 simulated "
+        "hours of ROBC forwarding.  The README quickstart and "
+        "examples/quickstart.py both run this preset."
+    ),
+    tags=("synthetic",),
+    config=ScenarioConfig(
+        name="quickstart", seed=42, duration_s=2 * 3600.0, area_km2=30.0,
+        num_gateways=4, num_routes=6, trips_per_route=4,
+        device_range_m=1000.0, scheme="robc",
+    ),
+))
+
+# CI smoke points ------------------------------------------------------ #
+register_preset(ScenarioPreset(
+    name="urban-smoke",
+    description=(
+        "A sub-second urban (500 m) scenario used by the CLI smoke and "
+        "CLI-vs-API equivalence tests.  Too small for meaningful metrics."
+    ),
+    tags=("ci", "urban"),
+    config=_smoke_point("urban-smoke", URBAN_DEVICE_RANGE_M),
+))
+
+register_preset(ScenarioPreset(
+    name="rural-smoke",
+    description=(
+        "A sub-second rural (1000 m) scenario used by the CLI smoke and "
+        "CLI-vs-API equivalence tests.  Too small for meaningful metrics."
+    ),
+    tags=("ci", "rural"),
+    config=_smoke_point("rural-smoke", RURAL_DEVICE_RANGE_M),
+))
+
+
+# --------------------------------------------------------------------- #
+# Overrides (parameterized synthetic variants)
+# --------------------------------------------------------------------- #
+def apply_overrides(
+    config: ScenarioConfig,
+    *,
+    scale: Optional[float] = None,
+    scheme: Optional[str] = None,
+    device_class: Optional[str] = None,
+    num_gateways: Optional[int] = None,
+    device_range_m: Optional[float] = None,
+    gateway_placement: Optional[str] = None,
+    num_routes: Optional[int] = None,
+    trips_per_route: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> ScenarioConfig:
+    """Derive a variant of ``config`` from CLI-style overrides.
+
+    ``scale`` (density-preserving shrink, applied first) composes with the
+    explicit field overrides, so e.g. ``scale=0.5, num_gateways=12`` means
+    "half the area and fleet, then exactly 12 gateways".
+    """
+    if scale is not None:
+        config = config.scaled(scale)
+    fields: Dict[str, Any] = {}
+    if scheme is not None:
+        fields["scheme"] = scheme
+    if device_class is not None:
+        fields["device_class"] = device_class
+    if num_gateways is not None:
+        fields["num_gateways"] = num_gateways
+    if device_range_m is not None:
+        fields["device_range_m"] = device_range_m
+    if gateway_placement is not None:
+        fields["gateway_placement"] = gateway_placement
+    if num_routes is not None:
+        fields["num_routes"] = num_routes
+    if trips_per_route is not None:
+        fields["trips_per_route"] = trips_per_route
+    if duration_s is not None:
+        fields["duration_s"] = duration_s
+    if seed is not None:
+        fields["seed"] = seed
+    return replace(config, **fields) if fields else config
+
+
+def resolve_scenario(target: str) -> ScenarioConfig:
+    """A scenario from a preset name or a ``.json``/``.toml`` file path."""
+    if target in _PRESETS:
+        return _PRESETS[target].config
+    if target.lower().endswith((".json", ".toml")):
+        from repro.experiments.serialization import load_scenario
+
+        return load_scenario(target)
+    raise KeyError(
+        f"{target!r} is neither a registered preset ({preset_names()}) "
+        "nor a .json/.toml scenario file"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Sweep presets (figures and ablations)
+# --------------------------------------------------------------------- #
+@dataclass
+class SweepArtifact:
+    """Uniform result of a figure sweep: printable text + tabular rows."""
+
+    name: str
+    text: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: The native result object (SweepResult, dicts of RunMetrics, …) for
+    #: programmatic consumers and the equivalence tests.
+    raw: Any = None
+
+
+SweepRunner = Callable[[ReproductionScale, Optional[SweepExecutor]], SweepArtifact]
+
+
+@dataclass(frozen=True)
+class SweepPreset:
+    """A named figure/ablation pipeline runnable at any ReproductionScale."""
+
+    name: str
+    description: str
+    runner: SweepRunner
+    figure: str = ""
+
+
+_SWEEPS: Dict[str, SweepPreset] = {}
+
+
+def register_sweep(preset: SweepPreset) -> SweepPreset:
+    if preset.name in _SWEEPS:
+        raise ValueError(f"duplicate sweep preset name {preset.name!r}")
+    _SWEEPS[preset.name] = preset
+    return preset
+
+
+def get_sweep(name: str) -> SweepPreset:
+    """Look a sweep up by name (``fig08`` and ``fig8`` both resolve)."""
+    key = name.lower()
+    if key.startswith("fig") and key[3:].isdigit():
+        key = f"fig{int(key[3:])}"
+    try:
+        return _SWEEPS[key]
+    except KeyError:
+        raise KeyError(f"unknown sweep {name!r}; available: {sweep_names()}") from None
+
+
+def _sweep_order(name: str) -> tuple:
+    # Figures in paper order (fig7 before fig10), then the ablations by name.
+    if name.startswith("fig") and name[3:].isdigit():
+        return (0, int(name[3:]), name)
+    return (1, 0, name)
+
+
+def sweep_names() -> List[str]:
+    """All registered sweep names, figures first in paper order."""
+    return sorted(_SWEEPS, key=_sweep_order)
+
+
+def iter_sweeps() -> List[SweepPreset]:
+    """All registered sweeps in catalogue order."""
+    return [_SWEEPS[name] for name in sweep_names()]
+
+
+def _figure_rows(rows: Sequence[Any]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "environment": row.environment,
+            "num_gateways": row.num_gateways,
+            "scheme": row.scheme,
+            "value": row.value,
+        }
+        for row in rows
+    ]
+
+
+def _density_artifact(name: str, title: str, extractor, metric_unit: str) -> SweepRunner:
+    def runner(scale: ReproductionScale, executor: Optional[SweepExecutor]) -> SweepArtifact:
+        sweep = run_density_sweep(scale, executor=executor)
+        rows = extractor(sweep)
+        return SweepArtifact(
+            name=name,
+            text=format_figure_rows(title, rows, metric_unit),
+            rows=_figure_rows(rows),
+            raw=sweep,
+        )
+
+    return runner
+
+
+def _timeseries_artifact(name: str, title: str, figure_fn) -> SweepRunner:
+    def runner(scale: ReproductionScale, executor: Optional[SweepExecutor]) -> SweepArtifact:
+        series = figure_fn(scale, executor=executor)
+        rows = [
+            {"time_s": start, "scheme": scheme, "delivered": value}
+            for scheme in sorted(series.series_by_scheme)
+            for start, value in zip(series.bin_starts_s, series.series_by_scheme[scheme])
+        ]
+        return SweepArtifact(
+            name=name, text=format_timeseries(title, series), rows=rows, raw=series
+        )
+
+    return runner
+
+
+def _metrics_rows(results: Mapping[Any, Any], key_name: str) -> List[Dict[str, Any]]:
+    rows = []
+    for key in sorted(results, key=str):
+        metrics = results[key]
+        rows.append(
+            {
+                key_name: key,
+                "mean_delay_s": metrics.mean_delay_s,
+                "throughput_messages": metrics.throughput_messages,
+                "delivery_ratio": metrics.delivery_ratio,
+                "mean_hop_count": metrics.mean_hop_count,
+                "mean_messages_sent_per_node": metrics.mean_messages_sent_per_node,
+                "mean_energy_joules": metrics.mean_energy_joules,
+            }
+        )
+    return rows
+
+
+_ABLATION_METRICS = (
+    "mean_delay_s",
+    "throughput_messages",
+    "delivery_ratio",
+    "mean_energy_joules",
+)
+
+
+def _fig7_runner(scale: ReproductionScale, executor: Optional[SweepExecutor]) -> SweepArtifact:
+    del executor  # one mobility generation, nothing to parallelise
+    properties = figure07_bus_network(scale)
+    rows = [
+        {"bin_start_s": start, "active_buses": count}
+        for start, count in zip(properties.bin_starts_s, properties.active_buses)
+    ]
+    return SweepArtifact(
+        name="fig7",
+        text=format_bus_network("Fig. 7 — bus network properties", properties),
+        rows=rows,
+        raw=properties,
+    )
+
+
+def _alpha_runner(scale: ReproductionScale, executor: Optional[SweepExecutor]) -> SweepArtifact:
+    results = ablation_alpha(scale, executor=executor)
+    return SweepArtifact(
+        name="alpha",
+        text=format_metric_comparison(
+            "α ablation — EWMA weight of Eq. (4), RCA-ETX", results, _ABLATION_METRICS
+        ),
+        rows=_metrics_rows(results, "alpha"),
+        raw=results,
+    )
+
+
+def _device_class_runner(
+    scale: ReproductionScale, executor: Optional[SweepExecutor]
+) -> SweepArtifact:
+    results = ablation_device_class(scale, executor=executor)
+    return SweepArtifact(
+        name="device-class",
+        text=format_metric_comparison(
+            "Device-class ablation — Modified Class-C vs Queue-based Class-A",
+            results,
+            _ABLATION_METRICS,
+        ),
+        rows=_metrics_rows(results, "device_class"),
+        raw=results,
+    )
+
+
+def _placement_runner(
+    scale: ReproductionScale, executor: Optional[SweepExecutor]
+) -> SweepArtifact:
+    results = ablation_gateway_placement(scale, executor=executor)
+    flat = {
+        f"{placement}/{scheme}": metrics
+        for placement, by_scheme in results.items()
+        for scheme, metrics in by_scheme.items()
+    }
+    return SweepArtifact(
+        name="placement",
+        text=format_metric_comparison(
+            "Placement ablation — grid vs uniform-random gateways",
+            flat,
+            _ABLATION_METRICS,
+        ),
+        rows=_metrics_rows(flat, "placement_scheme"),
+        raw=results,
+    )
+
+
+register_sweep(SweepPreset(
+    name="fig7",
+    description="Active buses over 24 h and the trip-duration distribution.",
+    figure="Fig. 7",
+    runner=_fig7_runner,
+))
+register_sweep(SweepPreset(
+    name="fig8",
+    description="Mean end-to-end delay vs gateway count, urban and rural.",
+    figure="Fig. 8",
+    runner=_density_artifact(
+        "fig8", "Fig. 8 — mean end-to-end delay", figure08_delay, "s"
+    ),
+))
+register_sweep(SweepPreset(
+    name="fig9",
+    description="Total delivered messages vs gateway count, urban and rural.",
+    figure="Fig. 9",
+    runner=_density_artifact(
+        "fig9", "Fig. 9 — delivered messages", figure09_throughput, "messages"
+    ),
+))
+register_sweep(SweepPreset(
+    name="fig10",
+    description="Messages delivered per 10-minute bin over the day, urban.",
+    figure="Fig. 10",
+    runner=_timeseries_artifact(
+        "fig10", "Fig. 10 — throughput over the day", figure10_urban_timeseries
+    ),
+))
+register_sweep(SweepPreset(
+    name="fig11",
+    description="Messages delivered per 10-minute bin over the day, rural.",
+    figure="Fig. 11",
+    runner=_timeseries_artifact(
+        "fig11", "Fig. 11 — throughput over the day", figure11_rural_timeseries
+    ),
+))
+register_sweep(SweepPreset(
+    name="fig12",
+    description="Mean delivery hop count vs gateway count, urban and rural.",
+    figure="Fig. 12",
+    runner=_density_artifact(
+        "fig12", "Fig. 12 — mean delivery hop count", figure12_hops, "hops"
+    ),
+))
+register_sweep(SweepPreset(
+    name="fig13",
+    description="Frames transmitted per node (energy proxy) vs gateway count.",
+    figure="Fig. 13",
+    runner=_density_artifact(
+        "fig13", "Fig. 13 — frames sent per node", figure13_overhead, "frames"
+    ),
+))
+register_sweep(SweepPreset(
+    name="alpha",
+    description="EWMA weight α of the RCA-ETX estimator (Eq. 4), five values.",
+    figure="α ablation",
+    runner=_alpha_runner,
+))
+register_sweep(SweepPreset(
+    name="device-class",
+    description="Modified Class-C vs Queue-based Class-A listening policies.",
+    figure="Sec. VII-C",
+    runner=_device_class_runner,
+))
+register_sweep(SweepPreset(
+    name="placement",
+    description="Grid vs uniform-random gateway placement, all schemes.",
+    figure="Sec. VII-C",
+    runner=_placement_runner,
+))
+
+
+def resolve_scale(value: Union[str, float, None]) -> ReproductionScale:
+    """A ReproductionScale from a name (smoke/benchmark/campaign) or a float.
+
+    A float is interpreted as a spatial scale applied to the benchmark
+    profile (durations and gateway grid unchanged).
+    """
+    if value is None:
+        return BENCHMARK_SCALE
+    if isinstance(value, str):
+        if value in SCALE_PRESETS:
+            return SCALE_PRESETS[value]
+        try:
+            value = float(value)
+        except ValueError:
+            raise KeyError(
+                f"unknown scale {value!r}; use one of {sorted(SCALE_PRESETS)} "
+                "or a spatial-scale float in (0, 1]"
+            ) from None
+    if not 0 < float(value) <= 1:
+        raise ValueError(f"spatial scale must be in (0, 1], got {value!r}")
+    return replace(BENCHMARK_SCALE, spatial_scale=float(value))
+
+
+# --------------------------------------------------------------------- #
+# docs/scenarios.md generation
+# --------------------------------------------------------------------- #
+def _hours(seconds: float) -> str:
+    return f"{seconds / 3600.0:g} h"
+
+
+def render_scenarios_markdown() -> str:
+    """The full text of ``docs/scenarios.md``, generated from the registries.
+
+    ``tests/experiments/test_registry.py`` pins the committed file to this
+    output; regenerate with ``repro docs --write`` after changing a preset.
+    """
+    lines: List[str] = [
+        "# Scenario catalogue",
+        "",
+        "<!-- GENERATED FILE — do not edit by hand.",
+        "     Regenerate with: PYTHONPATH=src python -m repro docs --write -->",
+        "",
+        "This catalogue is generated from `repro.experiments.registry`, the",
+        "single source of truth the `repro` CLI runs from.  Run any preset with",
+        "`repro run <name>`, inspect it with `repro describe <name>`, export it",
+        "to a shareable file with `repro export <name> out.toml`, and derive",
+        "variants with the override flags (`--scheme`, `--gateways`, `--scale`,",
+        "`--device-class`, `--range`, `--routes`, `--seed`, …).",
+        "",
+        "## Scenario presets",
+        "",
+        "| preset | scheme | gateways | D2D range | area | duration | reproduces |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for preset in iter_presets():
+        cfg = preset.config
+        lines.append(
+            f"| `{preset.name}` | {cfg.scheme} | {cfg.num_gateways} "
+            f"| {cfg.device_range_m:g} m | {cfg.area_km2:g} km² "
+            f"| {_hours(cfg.duration_s)} | {preset.figure or '—'} |"
+        )
+    lines.append("")
+    for preset in iter_presets():
+        cfg = preset.config
+        lines.extend([
+            f"### `{preset.name}`",
+            "",
+            preset.description,
+            "",
+            f"- tags: {', '.join(preset.tags) if preset.tags else '—'}",
+            f"- fleet: {cfg.num_routes} routes × {cfg.trips_per_route} trips "
+            f"= {cfg.num_routes * cfg.trips_per_route} buses",
+            f"- device class: `{cfg.device_class}`, placement: `{cfg.gateway_placement}`, "
+            f"seed: {cfg.seed}",
+            "",
+        ])
+    lines.extend([
+        "## Figure sweeps (`repro sweep <name>`)",
+        "",
+        "Each sweep accepts `--scale smoke|benchmark|campaign` (or a spatial-",
+        "scale float), `--workers N` for process-parallel execution and",
+        "`--cache DIR` to reuse finished runs across invocations.",
+        "",
+        "| sweep | reproduces | what it runs |",
+        "| --- | --- | --- |",
+    ])
+    for sweep in iter_sweeps():
+        lines.append(f"| `{sweep.name}` | {sweep.figure or '—'} | {sweep.description} |")
+    lines.extend([
+        "",
+        "## Execution scales",
+        "",
+        "| name | spatial scale | duration | gateway counts |",
+        "| --- | --- | --- | --- |",
+    ])
+    for name in sorted(SCALE_PRESETS):
+        scale = SCALE_PRESETS[name]
+        counts = ", ".join(str(c) for c in scale.gateway_counts)
+        lines.append(
+            f"| `{name}` | {scale.spatial_scale:g} | {_hours(scale.duration_s)} "
+            f"| {counts} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,16 +1,37 @@
-"""Plain-text reporting of figure data.
+"""Reporting: plain-text tables plus CSV/JSON artifact writers.
 
-The benchmark harness prints these tables so a run of
+The text formatters serve two consumers: the benchmark harness (so a run of
 ``pytest benchmarks/ --benchmark-only`` leaves a textual record of the same
-rows/series the paper plots.
+rows/series the paper plots) and the ``repro`` CLI, which prints them for
+``repro run``/``repro sweep`` and additionally persists the structured
+counterparts with the ``write_*`` helpers when ``--out`` is given.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
 
 from repro.analysis.metrics import RunMetrics
 from repro.experiments.figures import BusNetworkProperties, FigureRow, ThroughputTimeSeries
+
+#: The scalar summaries reported for every run (CLI, CSV and JSON artifacts).
+RUN_SUMMARY_FIELDS = (
+    "scheme",
+    "num_gateways",
+    "device_range_m",
+    "duration_s",
+    "messages_generated",
+    "messages_delivered",
+    "delivery_ratio",
+    "mean_delay_s",
+    "mean_hop_count",
+    "mean_messages_sent_per_node",
+    "mean_energy_joules",
+)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -73,6 +94,76 @@ def format_timeseries(title: str, series: ThroughputTimeSeries, max_bins: int = 
         f"{scheme}={series.total(scheme):.0f}" for scheme in sorted(series.series_by_scheme)
     )
     return f"{title} ({series.environment})\ntotals: {totals}\n" + format_table(headers, rows)
+
+
+def metrics_summary(metrics: RunMetrics) -> Dict[str, Any]:
+    """The scalar summary of one run as a plain dict (one CSV row)."""
+    return {name: getattr(metrics, name) for name in RUN_SUMMARY_FIELDS}
+
+
+def metrics_to_dict(metrics: RunMetrics, include_arrays: bool = True) -> Dict[str, Any]:
+    """A JSON-ready dict of a run: scalar summary plus (optionally) the raw
+    per-delivery and per-device arrays the time-series figures need."""
+    data = metrics_summary(metrics)
+    if include_arrays:
+        data.update(
+            delays_s=list(metrics.delays_s),
+            hop_counts=list(metrics.hop_counts),
+            delivery_times_s=list(metrics.delivery_times_s),
+            transmissions_per_device=dict(metrics.transmissions_per_device),
+            energy_joules_per_device=dict(metrics.energy_joules_per_device),
+        )
+    return data
+
+
+def format_run_summary(title: str, metrics: RunMetrics) -> str:
+    """A two-column summary table of one run (what ``repro run`` prints)."""
+    rows = []
+    for name in RUN_SUMMARY_FIELDS:
+        value = getattr(metrics, name)
+        if isinstance(value, float):
+            value = f"{value:.3f}" if math.isfinite(value) else str(value)
+        rows.append((name, value))
+    return f"{title}\n" + format_table(("metric", "value"), rows)
+
+
+def _sanitize(value: Any) -> Any:
+    # JSON has no NaN/Infinity literal; null keeps artifacts loadable anywhere.
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, Mapping):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
+
+
+def write_json(data: Any, path: Union[str, Path]) -> Path:
+    """Write any JSON-ready structure, mapping non-finite floats to null."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(_sanitize(data), indent=2, allow_nan=False)
+    target.write_text(text + "\n", encoding="utf-8")
+    return target
+
+
+def write_rows_csv(rows: Sequence[Mapping[str, Any]], path: Union[str, Path]) -> Path:
+    """Write homogeneous dict rows as CSV (header from the first row)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="", encoding="utf-8") as handle:
+        if rows:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+    return target
+
+
+def write_metrics_csv(
+    metrics_seq: Sequence[RunMetrics], path: Union[str, Path]
+) -> Path:
+    """Write the scalar summaries of several runs as one CSV table."""
+    return write_rows_csv([metrics_summary(m) for m in metrics_seq], path)
 
 
 def format_metric_comparison(

@@ -40,6 +40,11 @@ _DEVICE_CLASS_REGISTRY = {
 }
 
 
+def device_class_names() -> List[str]:
+    """The registered device-class names (sorted)."""
+    return sorted(_DEVICE_CLASS_REGISTRY)
+
+
 def make_device_class(name: str) -> DeviceClass:
     """Instantiate a device class by name."""
     try:

@@ -1,4 +1,11 @@
-"""Parameter sweeps over gateway density, device range and schemes."""
+"""Parameter sweeps over gateway density, device range and schemes.
+
+Sweeps are batches of independent :class:`RunSpec`s executed by a
+:class:`SweepExecutor` (serial, process-parallel and/or cache-served — the
+results are identical in every mode).  Base configurations usually come from
+the preset catalogue in :mod:`repro.experiments.registry`; the ``repro sweep``
+CLI command drives the same entry points from the command line.
+"""
 
 from __future__ import annotations
 

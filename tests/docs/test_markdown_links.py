@@ -1,0 +1,52 @@
+"""Intra-repo markdown link checker (the CI docs job runs this).
+
+Every relative link in the repo's markdown files must point at an existing
+file or directory.  External links (http/https/mailto) are not fetched.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Markdown sources covered by the checker.
+MARKDOWN_FILES = sorted(
+    list(REPO_ROOT.glob("*.md")) + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+#: Inline links: [text](target) with an optional "title".
+_LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code_blocks(text: str) -> str:
+    # Fenced code blocks hold shell snippets, not hyperlinks.
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def _relative_links(path: Path):
+    text = _strip_code_blocks(path.read_text(encoding="utf-8"))
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        yield target
+
+
+def test_markdown_files_exist():
+    names = {path.name for path in MARKDOWN_FILES}
+    for required in ("README.md", "architecture.md", "scenarios.md", "performance.md"):
+        assert required in names, f"{required} is missing from the docs suite"
+
+
+@pytest.mark.parametrize("path", MARKDOWN_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(path):
+    broken = []
+    for target in _relative_links(path):
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.relative_to(REPO_ROOT)} has broken links: {broken}"

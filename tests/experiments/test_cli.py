@@ -1,0 +1,213 @@
+"""CLI smoke tests and the CLI-vs-Python-API equivalence contract.
+
+The acceptance bar for the `repro` entry point: running a preset (or a
+figure sweep) through the CLI produces *bit-identical* RunMetrics — and the
+same on-disk cache digest — as driving the library directly.  The CLI may
+add printing and artifact writing, never different results.
+"""
+
+import csv
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import build_executor, main, run_sweep, run_target
+from repro.experiments.figures import SMOKE_SCALE, run_density_sweep
+from repro.experiments.parallel import RunSpec, SweepExecutor, config_digest
+from repro.experiments.registry import get_preset
+from repro.experiments.runner import run_scenario
+from repro.experiments.serialization import load_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_DIR = REPO_ROOT / "src"
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: CLI path == Python API path
+# --------------------------------------------------------------------- #
+class TestEquivalence:
+    @pytest.mark.parametrize("preset_name", ["urban-smoke", "rural-smoke"])
+    def test_run_matches_python_api_bit_identically(self, preset_name):
+        config = get_preset(preset_name).config
+        cli_outcome = run_target(preset_name)
+        api_metrics = run_scenario(config)
+        assert cli_outcome.metrics == api_metrics
+        # Same cache identity, too: a CLI run and an API run share cache slots.
+        assert cli_outcome.spec.cache_key() == RunSpec(config=config).cache_key()
+
+    @pytest.mark.parametrize("preset_name", ["urban-smoke", "rural-smoke"])
+    def test_exported_file_runs_bit_identically(self, tmp_path, preset_name):
+        """preset → TOML file → `repro run <file>` keeps metrics and digest."""
+        config = get_preset(preset_name).config
+        path = tmp_path / f"{preset_name}.toml"
+        assert main(["export", preset_name, str(path)]) == 0
+        loaded = load_scenario(path)
+        assert config_digest(loaded) == config_digest(config)
+        assert run_target(str(path)).metrics == run_scenario(config)
+
+    def test_sweep_matches_python_api_bit_identically(self):
+        """`repro sweep fig9 --scale smoke` == run_density_sweep(SMOKE_SCALE).
+
+        The smoke scale covers both environments (urban 500 m and rural
+        1000 m), all three schemes and two gateway counts.
+        """
+        artifact = run_sweep("fig9", scale="smoke")
+        api_sweep = run_density_sweep(SMOKE_SCALE)
+        assert set(artifact.raw.runs) == set(api_sweep.runs)
+        for key, metrics in api_sweep.runs.items():
+            assert artifact.raw.runs[key] == metrics, key
+
+    def test_cached_cli_run_serves_identical_metrics(self, tmp_path):
+        executor = build_executor(workers=1, cache_dir=str(tmp_path))
+        first = run_target("urban-smoke", executor=executor)
+        second = run_target("urban-smoke", executor=build_executor(1, str(tmp_path)))
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.metrics == first.metrics
+
+
+# --------------------------------------------------------------------- #
+# Smoke tests (in-process main())
+# --------------------------------------------------------------------- #
+class TestSmoke:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "urban" in out and "rural" in out and "fig9" in out
+
+    def test_describe_preset_and_sweep(self, capsys):
+        assert main(["describe", "urban"]) == 0
+        out = capsys.readouterr().out
+        assert "config digest" in out and '"device_range_m": 500.0' in out
+        assert main(["describe", "fig8"]) == 0
+        assert "Fig. 8" in capsys.readouterr().out
+
+    def test_describe_unknown_fails(self, capsys):
+        assert main(["describe", "nope"]) == 2
+        assert "repro list" in capsys.readouterr().err
+
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["run", "urban-smoke", "--out", str(out_dir)]) == 0
+        summary = capsys.readouterr().out
+        assert "messages_delivered" in summary
+
+        metrics = json.loads((out_dir / "metrics.json").read_text())
+        reference = run_scenario(get_preset("urban-smoke").config)
+        assert metrics["messages_delivered"] == reference.messages_delivered
+        assert metrics["delays_s"] == pytest.approx(reference.delays_s)
+
+        with (out_dir / "metrics.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert int(rows[0]["messages_delivered"]) == reference.messages_delivered
+
+        # The emitted scenario.json reproduces the run exactly.
+        assert load_scenario(out_dir / "scenario.json") == get_preset("urban-smoke").config
+
+    def test_run_with_overrides(self, capsys):
+        assert main(["run", "urban-smoke", "--scheme", "no-routing", "--seed", "3"]) == 0
+        del capsys  # output content covered elsewhere
+        reference = run_target("urban-smoke", scheme="no-routing", seed=3)
+        assert reference.spec.config.scheme == "no-routing"
+        assert reference.spec.config.seed == 3
+
+    def test_run_unknown_target_fails_cleanly(self, capsys):
+        assert main(["run", "not-a-preset"]) == 2
+        err = capsys.readouterr().err
+        assert "neither" in err
+        # str(KeyError) would wrap the message in doubled quoting.
+        assert '"\'not-a-preset\'' not in err
+
+    def test_run_unknown_scheme_or_class_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run", "urban-smoke", "--scheme", "typo"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+        assert main(["run", "urban-smoke", "--device-class", "class-z"]) == 2
+        assert "unknown device class" in capsys.readouterr().err
+        # A hand-edited scenario file with a typo'd scheme takes the same path.
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"name": "bad", "scheme": "does-not-exist"}), encoding="utf-8"
+        )
+        assert main(["run", str(path)]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_run_invalid_workers_fails_cleanly(self, capsys, monkeypatch):
+        assert main(["run", "urban-smoke", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "abc")
+        assert main(["run", "urban-smoke"]) == 2
+        assert "REPRO_SWEEP_WORKERS" in capsys.readouterr().err
+
+    def test_docs_check_missing_file_reported_distinctly(self, tmp_path, capsys):
+        assert main(["docs", "--path", str(tmp_path / "scenarios.md")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_sweep_out_of_range_scale_fails_cleanly(self, capsys):
+        for bad in ("1.5", "0", "nan"):
+            assert main(["sweep", "fig9", "--scale", bad]) == 2
+            assert "spatial scale" in capsys.readouterr().err
+
+    def test_docs_write_and_check_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["docs", "--write", "--check"])
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_run_invalid_override_fails_cleanly(self, capsys):
+        assert main(["run", "urban-smoke", "--gateways", "0"]) == 2
+        assert "invalid override" in capsys.readouterr().err
+
+    def test_sweep_fig7_and_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "fig7"
+        assert main(["sweep", "fig7", "--scale", "smoke", "--out", str(out_dir)]) == 0
+        assert "bus network" in capsys.readouterr().out
+        data = json.loads((out_dir / "fig7.json").read_text())
+        assert data and {"bin_start_s", "active_buses"} == set(data[0])
+
+    def test_sweep_unknown_figure_fails_cleanly(self, capsys):
+        assert main(["sweep", "fig99"]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_docs_check_passes_on_committed_file(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["docs", "--check"]) == 0
+
+    def test_docs_check_detects_drift(self, tmp_path, capsys):
+        stale = tmp_path / "scenarios.md"
+        stale.write_text("# stale\n")
+        assert main(["docs", "--path", str(stale)]) == 1
+        assert "out of date" in capsys.readouterr().err
+        assert main(["docs", "--write", "--path", str(stale)]) == 0
+        assert main(["docs", "--path", str(stale)]) == 0
+
+
+# --------------------------------------------------------------------- #
+# The installed/module entry points themselves
+# --------------------------------------------------------------------- #
+class TestEntryPoint:
+    def test_python_dash_m_repro(self):
+        """`PYTHONPATH=src python -m repro list` works on a fresh checkout."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "urban" in result.stdout
+
+    def test_console_script_declared(self):
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        assert 'repro = "repro.experiments.cli:main"' in pyproject
+
+
+def test_workers_flag_matches_serial_results():
+    """A parallel CLI run returns the same metrics as the serial one."""
+    serial = run_target("urban-smoke", executor=SweepExecutor(workers=1))
+    parallel = run_target("urban-smoke", executor=SweepExecutor(workers=2))
+    assert serial.metrics == parallel.metrics

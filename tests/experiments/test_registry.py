@@ -1,0 +1,198 @@
+"""Registry invariants: presets are valid and the generated docs are current."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import BENCHMARK_SCALE, CAMPAIGN_SCALE, SMOKE_SCALE
+from repro.experiments.registry import (
+    SCALE_PRESETS,
+    apply_overrides,
+    get_preset,
+    get_sweep,
+    iter_presets,
+    iter_sweeps,
+    preset_names,
+    render_scenarios_markdown,
+    resolve_scale,
+    resolve_scenario,
+    sweep_names,
+)
+from repro.experiments.scenario import build_scenario
+from repro.mac.device_classes import DeviceClass
+from repro.routing import SCHEME_REGISTRY
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestPresets:
+    def test_catalogue_covers_paper_settings(self):
+        names = preset_names()
+        for required in (
+            "urban", "rural", "urban-full", "rural-full",
+            "urban-class-a", "urban-random-placement",
+            "urban-smoke", "rural-smoke", "quickstart",
+        ):
+            assert required in names
+
+    def test_preset_configs_are_well_formed(self):
+        for preset in iter_presets():
+            config = preset.config
+            assert config.name == preset.name
+            assert preset.description
+            assert config.scheme in SCHEME_REGISTRY, preset.name
+            # Urban/rural tags match the paper's device-to-device ranges.
+            if "urban" in preset.tags:
+                assert config.device_range_m == 500.0, preset.name
+            if "rural" in preset.tags:
+                assert config.device_range_m == 1000.0, preset.name
+
+    def test_urban_and_rural_differ_only_in_range_and_name(self):
+        import dataclasses
+
+        urban = get_preset("urban").config
+        rural = get_preset("rural").config
+        assert urban.device_range_m == 500.0
+        assert rural.device_range_m == 1000.0
+        aligned = dataclasses.replace(rural, name="urban", device_range_m=500.0)
+        assert aligned == urban
+
+    def test_paper_points_match_sweep_spec_configs(self):
+        """The urban/rural presets equal the 70-gateway sweep point.
+
+        `_paper_point` re-derives the scaling that `ReproductionScale.
+        base_config` + `sweep_specs` apply; this pins the two code paths to
+        each other (everything but the cosmetic scenario name must match).
+        """
+        import dataclasses
+
+        from repro.experiments.figures import ReproductionScale
+        from repro.experiments.parallel import sweep_specs
+
+        scale = ReproductionScale(spatial_scale=0.10, duration_s=4 * 3600.0)
+        specs = sweep_specs(
+            scale.base_config(),
+            gateway_counts=(70,),
+            schemes=("robc",),
+            device_ranges_m=(500.0, 1000.0),
+            gateway_scale=scale.spatial_scale,
+        )
+        by_range = {spec.config.device_range_m: spec.config for spec in specs}
+        for preset_name, device_range in (("urban", 500.0), ("rural", 1000.0)):
+            preset_config = get_preset(preset_name).config
+            sweep_config = by_range[device_range]
+            assert dataclasses.replace(
+                preset_config, name=sweep_config.name
+            ) == sweep_config, preset_name
+
+    def test_smoke_presets_build_quickly(self):
+        # The CI smoke presets must stay cheap: tiny fleet, tiny horizon.
+        for name in ("urban-smoke", "rural-smoke"):
+            config = get_preset(name).config
+            assert config.duration_s <= 3600.0
+            assert config.num_routes * config.trips_per_route <= 16
+            built = build_scenario(config)
+            assert built.num_devices > 0
+            assert isinstance(
+                built.devices[next(iter(built.devices))].device_class, DeviceClass
+            )
+
+    def test_unknown_preset_lists_catalogue(self):
+        with pytest.raises(KeyError, match="urban"):
+            get_preset("does-not-exist")
+
+    def test_resolve_scenario_prefers_registry_then_files(self, tmp_path):
+        from repro.experiments.serialization import save_scenario
+
+        assert resolve_scenario("urban") == get_preset("urban").config
+        path = tmp_path / "custom.toml"
+        save_scenario(get_preset("rural").config, path)
+        assert resolve_scenario(str(path)) == get_preset("rural").config
+        # Suffix matching is case-insensitive, like save/load themselves.
+        upper = tmp_path / "CUSTOM.TOML"
+        save_scenario(get_preset("rural").config, upper)
+        assert resolve_scenario(str(upper)) == get_preset("rural").config
+        with pytest.raises(KeyError, match="neither"):
+            resolve_scenario("not-a-preset")
+
+
+class TestOverrides:
+    def test_field_overrides(self):
+        base = get_preset("urban").config
+        variant = apply_overrides(
+            base, scheme="rca-etx", num_gateways=3, seed=99, device_range_m=750.0
+        )
+        assert (variant.scheme, variant.num_gateways, variant.seed) == ("rca-etx", 3, 99)
+        assert variant.device_range_m == 750.0
+        # Untouched fields survive.
+        assert variant.area_km2 == base.area_km2
+
+    def test_scale_composes_with_field_overrides(self):
+        base = get_preset("urban-full").config
+        variant = apply_overrides(base, scale=0.5, num_gateways=12)
+        assert variant.area_km2 == pytest.approx(base.area_km2 * 0.5)
+        assert variant.num_gateways == 12
+
+    def test_no_overrides_is_identity(self):
+        base = get_preset("urban").config
+        assert apply_overrides(base) is base
+
+
+class TestSweeps:
+    def test_catalogue_covers_figures_and_ablations(self):
+        names = sweep_names()
+        for required in (
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "alpha", "device-class", "placement",
+        ):
+            assert required in names
+
+    def test_sweep_names_in_paper_order(self):
+        names = sweep_names()
+        figures = [name for name in names if name.startswith("fig")]
+        assert figures == ["fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
+        # Figures lead the catalogue; ablations follow alphabetically.
+        assert names[: len(figures)] == figures
+        assert names[len(figures):] == sorted(names[len(figures):])
+
+    def test_zero_padded_figure_names_resolve(self):
+        assert get_sweep("fig08") is get_sweep("fig8")
+        assert get_sweep("FIG9") is get_sweep("fig9")
+        with pytest.raises(KeyError, match="available"):
+            get_sweep("fig99")
+
+    def test_every_sweep_has_description_and_runner(self):
+        for sweep in iter_sweeps():
+            assert sweep.description
+            assert callable(sweep.runner)
+
+    def test_resolve_scale(self):
+        assert resolve_scale(None) is BENCHMARK_SCALE
+        assert resolve_scale("smoke") is SMOKE_SCALE
+        assert resolve_scale("campaign") is CAMPAIGN_SCALE
+        assert resolve_scale("0.5").spatial_scale == 0.5
+        assert resolve_scale(0.25).spatial_scale == 0.25
+        with pytest.raises(KeyError, match="unknown scale"):
+            resolve_scale("huge")
+        for out_of_range in ("1.5", 0.0, "nan", -1):
+            with pytest.raises(ValueError, match="spatial scale"):
+                resolve_scale(out_of_range)
+        assert sorted(SCALE_PRESETS) == ["benchmark", "campaign", "smoke"]
+
+
+class TestGeneratedDocs:
+    def test_scenarios_md_matches_registry(self):
+        """docs/scenarios.md is generated; it must not drift from the code.
+
+        Regenerate with: PYTHONPATH=src python -m repro docs --write
+        """
+        path = REPO_ROOT / "docs" / "scenarios.md"
+        assert path.is_file(), "docs/scenarios.md is missing"
+        assert path.read_text(encoding="utf-8") == render_scenarios_markdown()
+
+    def test_rendered_catalogue_mentions_every_name(self):
+        rendered = render_scenarios_markdown()
+        for preset in iter_presets():
+            assert f"`{preset.name}`" in rendered
+        for sweep in iter_sweeps():
+            assert f"`{sweep.name}`" in rendered
