@@ -4,12 +4,22 @@ The benchmarks reproduce every figure of the paper's evaluation at a reduced
 but density-preserving scale (see DESIGN.md / EXPERIMENTS.md).  Figures 8, 9,
 12 and 13 are all views over the same gateway-density sweep, so that sweep is
 run once per session and shared.
+
+Every benchmark session also writes a ``BENCH_results.json`` artifact with
+the per-benchmark wall-clock times (override the location with the
+``REPRO_BENCH_RESULTS`` environment variable, or set it to an empty string to
+disable).  CI uploads the file per run, so the performance trajectory is
+comparable across PRs without scraping pytest output.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import sys
+import time
+from typing import Dict
 
 import pytest
 
@@ -46,6 +56,48 @@ ABLATION_SCALE = ReproductionScale(
     gateway_counts=(70,),
     seed=7,
 )
+
+
+#: Default artifact path, relative to the invocation directory.
+BENCH_RESULTS_ENV_VAR = "REPRO_BENCH_RESULTS"
+DEFAULT_BENCH_RESULTS_PATH = "BENCH_results.json"
+
+_BENCH_DURATIONS: Dict[str, Dict[str, object]] = {}
+
+
+def _results_path() -> str:
+    return os.environ.get(BENCH_RESULTS_ENV_VAR, DEFAULT_BENCH_RESULTS_PATH)
+
+
+def pytest_runtest_logreport(report):
+    """Record the wall-clock of every benchmark test's call phase."""
+    if report.when != "call":
+        return
+    _BENCH_DURATIONS[report.nodeid] = {
+        "wall_time_s": round(report.duration, 6),
+        "outcome": report.outcome,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-benchmark wall-clock artifact (one JSON per session)."""
+    del session, exitstatus
+    path = _results_path()
+    if not path or not _BENCH_DURATIONS:
+        return
+    payload = {
+        "schema_version": 1,
+        "unix_time": time.time(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "benchmarks": [
+            {"nodeid": nodeid, **record}
+            for nodeid, record in sorted(_BENCH_DURATIONS.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,7 @@ the same cache entries as the preset it came from.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Any, Optional, Sequence
@@ -38,6 +39,7 @@ from repro.experiments.registry import (
     render_scenarios_markdown,
     resolve_scale,
     resolve_scenario,
+    sweep_names,
 )
 from repro.experiments.scenario import device_class_names, make_device_class
 from repro.experiments.reporting import (
@@ -53,6 +55,7 @@ from repro.experiments.serialization import (
     save_scenario,
     scenario_to_json,
 )
+from repro.radio.config import SF_POLICIES
 from repro.routing import SCHEME_REGISTRY, make_scheme
 
 #: Default location of the generated scenario catalogue, relative to CWD.
@@ -127,8 +130,45 @@ def run_sweep(
 # --------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------- #
+def list_payload() -> dict:
+    """The machine-readable catalogue behind ``repro list --json``.
+
+    Scripts enumerate presets/sweeps from this instead of scraping the text
+    tables; the config digest is included so cache tooling can key on it.
+    """
+    return {
+        "presets": [
+            {
+                "name": preset.name,
+                "scheme": preset.config.scheme,
+                "num_gateways": preset.config.num_gateways,
+                "device_range_m": preset.config.device_range_m,
+                "area_km2": preset.config.area_km2,
+                "duration_s": preset.config.duration_s,
+                "num_channels": preset.config.radio.num_channels,
+                "sf_policy": preset.config.radio.sf_policy,
+                "figure": preset.figure,
+                "tags": list(preset.tags),
+                "description": preset.description,
+                "config_digest": config_digest(preset.config),
+            }
+            for preset in iter_presets()
+        ],
+        "sweeps": [
+            {
+                "name": sweep.name,
+                "figure": sweep.figure,
+                "description": sweep.description,
+            }
+            for sweep in iter_sweeps()
+        ],
+    }
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    del args
+    if getattr(args, "json", False):
+        print(json.dumps(list_payload(), indent=2))
+        return 0
     preset_rows = [
         (
             preset.name,
@@ -190,6 +230,8 @@ def _overrides_from(args: argparse.Namespace) -> dict:
         "trips_per_route": args.trips,
         "duration_s": args.duration,
         "seed": args.seed,
+        "num_channels": args.channels,
+        "sf_policy": args.sf_policy,
     }
 
 
@@ -288,9 +330,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser(
+    list_parser = subparsers.add_parser(
         "list", help="catalogue of scenario presets and figure sweeps"
-    ).set_defaults(func=_cmd_list)
+    )
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON catalogue instead of the text tables",
+    )
+    list_parser.set_defaults(func=_cmd_list)
 
     describe = subparsers.add_parser(
         "describe", help="full parameters and provenance of a preset or sweep"
@@ -318,12 +365,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trips", type=int, default=None, help="trips per route")
     run.add_argument("--duration", type=float, default=None, help="simulated seconds")
     run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.add_argument("--channels", type=int, default=None,
+                     help="uplink channel count of the radio plan (default 1)")
+    run.add_argument("--sf-policy", default=None, dest="sf_policy",
+                     choices=SF_POLICIES,
+                     help="spreading-factor allocation policy (default fixed-sf7)")
     run.set_defaults(func=_cmd_run)
 
     sweep = subparsers.add_parser(
         "sweep", help="reproduce one paper figure or ablation"
     )
-    sweep.add_argument("figure", help="fig7..fig13, alpha, device-class or placement")
+    sweep.add_argument("figure", help=f"one of: {', '.join(sweep_names())}")
     sweep.add_argument("--scale", default="benchmark",
                        help="smoke | benchmark | campaign | spatial-scale float")
     _add_executor_flags(sweep)

@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.mac.device import DeviceConfig
 from repro.mobility.london import DAY_SECONDS, LondonBusNetworkConfig
+from repro.radio.config import RadioConfig
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,9 @@ class ScenarioConfig:
     # Radio / protocol
     shadowing: bool = False
     device: DeviceConfig = field(default_factory=DeviceConfig)
+    #: Channel plan and SF allocation; the default (one channel, fixed SF7)
+    #: is the paper's setting and is bit-compatible with the pre-radio engine.
+    radio: RadioConfig = field(default_factory=RadioConfig)
 
     # Forwarding scheme and device class
     scheme: str = "no-routing"
@@ -108,6 +112,19 @@ class ScenarioConfig:
     def with_seed(self, seed: int) -> "ScenarioConfig":
         """A copy with a different master seed (replications)."""
         return replace(self, seed=seed)
+
+    def with_radio(
+        self,
+        num_channels: Optional[int] = None,
+        sf_policy: Optional[str] = None,
+    ) -> "ScenarioConfig":
+        """A copy with a different channel plan and/or SF allocation policy."""
+        radio = self.radio
+        if num_channels is not None:
+            radio = radio.with_channels(num_channels)
+        if sf_policy is not None:
+            radio = radio.with_sf_policy(sf_policy)
+        return replace(self, radio=radio)
 
     def mobility_config(self, horizon_s: Optional[float] = None) -> LondonBusNetworkConfig:
         """The bus-network generator configuration implied by this scenario.

@@ -31,6 +31,10 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.analysis.metrics import RunMetrics
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
+from repro.radio.config import RadioConfig
+
+#: The default radio section, excluded from digests for cache stability.
+_DEFAULT_RADIO_DICT = asdict(RadioConfig())
 
 #: Derived seeds stay in the positive signed-64-bit range.
 _SEED_SPACE = 2**63
@@ -63,8 +67,19 @@ def derive_run_seed(
 
 
 def config_digest(config: ScenarioConfig) -> str:
-    """A stable hex digest of every field of ``config`` (cache key material)."""
-    payload = json.dumps(asdict(config), sort_keys=True, default=repr)
+    """A stable hex digest of every field of ``config`` (cache key material).
+
+    The ``radio`` section is omitted while it holds the default (one channel,
+    fixed SF7) so that every configuration that existed before the radio
+    subsystem keeps its historical digest — archived sweep caches stay valid
+    and the "same digest → same RunMetrics" equivalence holds across the
+    refactor.  Non-default radio settings change simulation behaviour and
+    therefore the digest.
+    """
+    payload_dict = asdict(config)
+    if payload_dict.get("radio") == _DEFAULT_RADIO_DICT:
+        del payload_dict["radio"]
+    payload = json.dumps(payload_dict, sort_keys=True, default=repr)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

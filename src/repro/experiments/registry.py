@@ -44,6 +44,7 @@ from repro.experiments.figures import (
     figure12_hops,
     figure13_overhead,
     run_density_sweep,
+    run_multisf_sweep,
 )
 from repro.experiments.parallel import SweepExecutor
 from repro.experiments.reporting import (
@@ -54,6 +55,7 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.sweeps import RURAL_DEVICE_RANGE_M, URBAN_DEVICE_RANGE_M
 from repro.mobility.london import DAY_SECONDS
+from repro.radio.config import RadioConfig
 
 #: Named execution scales for ``repro sweep --scale <name>``.
 SCALE_PRESETS: Dict[str, ReproductionScale] = {
@@ -330,6 +332,26 @@ register_preset(ScenarioPreset(
 ))
 
 register_preset(ScenarioPreset(
+    name="urban-multisf",
+    description=(
+        "The `urban` preset on a realistic EU868-style radio plan: three "
+        "uplink channels and distance-based spreading factors (SF7 near a "
+        "gateway through SF12 at the cell edge) instead of the paper's "
+        "single shared SF7 channel.  Cross-channel and cross-SF frames no "
+        "longer collide, but far devices pay SF12 airtime and duty-cycle "
+        "off-time."
+    ),
+    tags=("synthetic", "urban", "multi-sf"),
+    config=replace(
+        _paper_point(
+            "urban-multisf", spatial_scale=0.10, duration_s=4 * 3600.0,
+            nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        ),
+        radio=RadioConfig(num_channels=3, sf_policy="distance-based"),
+    ),
+))
+
+register_preset(ScenarioPreset(
     name="quickstart",
     description=(
         "A small friendly first run: 30 km², 4 gateways, 24 buses, 2 simulated "
@@ -382,6 +404,8 @@ def apply_overrides(
     trips_per_route: Optional[int] = None,
     duration_s: Optional[float] = None,
     seed: Optional[int] = None,
+    num_channels: Optional[int] = None,
+    sf_policy: Optional[str] = None,
 ) -> ScenarioConfig:
     """Derive a variant of ``config`` from CLI-style overrides.
 
@@ -391,6 +415,8 @@ def apply_overrides(
     """
     if scale is not None:
         config = config.scaled(scale)
+    if num_channels is not None or sf_policy is not None:
+        config = config.with_radio(num_channels=num_channels, sf_policy=sf_policy)
     fields: Dict[str, Any] = {}
     if scheme is not None:
         fields["scheme"] = scheme
@@ -603,6 +629,39 @@ def _device_class_runner(
     )
 
 
+def _multisf_runner(
+    scale: ReproductionScale, executor: Optional[SweepExecutor]
+) -> SweepArtifact:
+    results = run_multisf_sweep(scale, executor=executor)
+    flat = {
+        f"{channels}ch/{scheme}": metrics
+        for (channels, scheme), metrics in results.items()
+    }
+    rows = [
+        {
+            "num_channels": channels,
+            "scheme": scheme,
+            "mean_delay_s": metrics.mean_delay_s,
+            "throughput_messages": metrics.throughput_messages,
+            "delivery_ratio": metrics.delivery_ratio,
+            "mean_hop_count": metrics.mean_hop_count,
+            "mean_messages_sent_per_node": metrics.mean_messages_sent_per_node,
+            "mean_energy_joules": metrics.mean_energy_joules,
+        }
+        for (channels, scheme), metrics in sorted(results.items())
+    ]
+    return SweepArtifact(
+        name="multisf",
+        text=format_metric_comparison(
+            "Multi-SF radio sweep — uplink channels × scheme, distance-based SFs",
+            flat,
+            _ABLATION_METRICS,
+        ),
+        rows=rows,
+        raw=results,
+    )
+
+
 def _placement_runner(
     scale: ReproductionScale, executor: Optional[SweepExecutor]
 ) -> SweepArtifact:
@@ -696,6 +755,14 @@ register_sweep(SweepPreset(
     figure="Sec. VII-C",
     runner=_placement_runner,
 ))
+register_sweep(SweepPreset(
+    name="multisf",
+    description=(
+        "Uplink channels (1/3/8) × scheme under distance-based spreading "
+        "factors — beyond the paper's single shared SF7 channel."
+    ),
+    runner=_multisf_runner,
+))
 
 
 def resolve_scale(value: Union[str, float, None]) -> ReproductionScale:
@@ -728,6 +795,13 @@ def _hours(seconds: float) -> str:
     return f"{seconds / 3600.0:g} h"
 
 
+def _radio_label(config: ScenarioConfig) -> str:
+    radio = config.radio
+    if radio.is_default:
+        return "1 ch, SF7"
+    return f"{radio.num_channels} ch, {radio.sf_policy}"
+
+
 def render_scenarios_markdown() -> str:
     """The full text of ``docs/scenarios.md``, generated from the registries.
 
@@ -745,19 +819,21 @@ def render_scenarios_markdown() -> str:
         "`repro run <name>`, inspect it with `repro describe <name>`, export it",
         "to a shareable file with `repro export <name> out.toml`, and derive",
         "variants with the override flags (`--scheme`, `--gateways`, `--scale`,",
-        "`--device-class`, `--range`, `--routes`, `--seed`, …).",
+        "`--device-class`, `--range`, `--routes`, `--channels`, `--sf-policy`,",
+        "`--seed`, …).",
         "",
         "## Scenario presets",
         "",
-        "| preset | scheme | gateways | D2D range | area | duration | reproduces |",
-        "| --- | --- | --- | --- | --- | --- | --- |",
+        "| preset | scheme | gateways | D2D range | area | duration | radio | reproduces |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- |",
     ]
     for preset in iter_presets():
         cfg = preset.config
         lines.append(
             f"| `{preset.name}` | {cfg.scheme} | {cfg.num_gateways} "
             f"| {cfg.device_range_m:g} m | {cfg.area_km2:g} km² "
-            f"| {_hours(cfg.duration_s)} | {preset.figure or '—'} |"
+            f"| {_hours(cfg.duration_s)} | {_radio_label(cfg)} "
+            f"| {preset.figure or '—'} |"
         )
     lines.append("")
     for preset in iter_presets():
@@ -772,6 +848,8 @@ def render_scenarios_markdown() -> str:
             f"= {cfg.num_routes * cfg.trips_per_route} buses",
             f"- device class: `{cfg.device_class}`, placement: `{cfg.gateway_placement}`, "
             f"seed: {cfg.seed}",
+            f"- radio: {cfg.radio.num_channels} channel(s), "
+            f"`{cfg.radio.sf_policy}` SF policy",
             "",
         ])
     lines.extend([

@@ -6,10 +6,11 @@ The engine mirrors the evaluation setup of Sec. VII-A:
   3 minutes while it is in service and stores it in a FIFO queue;
 * at every message generation (and at retransmission opportunities after a
   failed uplink) the device bundles up to 12 queued messages, appends its
-  RCA-ETX value (and queue length for ROBC) and transmits on the shared SF7
-  channel, subject to the 1 % duty cycle;
-* gateways within range decode the frame unless a same-channel collision
-  without capture destroys it; the network server deduplicates and
+  RCA-ETX value (and queue length for ROBC) and transmits with its assigned
+  spreading factor and channel (the paper's setting: everyone on SF7, one
+  channel), subject to the 1 % duty cycle;
+* gateways within range decode the frame unless a same-SF same-channel
+  collision without capture destroys it; the network server deduplicates and
   acknowledges instantly, clearing the acknowledged messages from the queue;
 * every *listening* device within device-to-device range overhears the frame
   and consults the forwarding scheme; a positive decision triggers a
@@ -18,12 +19,18 @@ The engine mirrors the evaluation setup of Sec. VII-A:
   onto the transmitter;
 * failed uplinks are retried up to eight times, each retry waiting out the
   duty-cycle off-time.
+
+Everything radio — airtime per SF, sensitivity per SF, the collision/capture
+model, channel orthogonality, collision-registry pruning — lives in
+:class:`~repro.radio.medium.RadioMedium`; this module is pure orchestration:
+it decides *when* frames are sent and what the MAC/routing layers do with the
+outcomes, never *how* the medium treats them.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace as dataclass_replace
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.analysis.metrics import RunMetrics, compute_run_metrics
 from repro.experiments.config import ScenarioConfig
@@ -31,31 +38,26 @@ from repro.experiments.scenario import BuiltScenario, build_scenario
 from repro.mac.device import EndDevice
 from repro.mac.frames import DataMessage, UplinkPacket
 from repro.mac.network_server import NetworkServer
-from repro.phy.airtime import AirtimeCalculator, LoRaTransmissionParameters
-from repro.phy.collision import CollisionModel, Transmission
-from repro.phy.link import LinkQualityEstimator
+from repro.phy.collision import Transmission
+from repro.radio.medium import RadioMedium
+from repro.sim.events import ATTEMPT_PRIORITY, COMPLETION_PRIORITY
 from repro.sim.kernel import Simulator
-
-#: Events with this priority run after transmission completions at equal times.
-_COMPLETION_PRIORITY = 1
-_ATTEMPT_PRIORITY = 2
-
-#: Transmissions older than this are dropped from the collision registry.
-_COLLISION_RETENTION_S = 10.0
 
 
 class MLoRaSimulation:
     """One complete simulation run of a built scenario."""
 
-    def __init__(self, scenario: BuiltScenario) -> None:
+    def __init__(
+        self, scenario: BuiltScenario, medium: Optional[RadioMedium] = None
+    ) -> None:
         self.scenario = scenario
         self.config = scenario.config
         self.simulator = Simulator()
         self.server = NetworkServer()
-        self.collision_model = CollisionModel()
-        self.airtime = AirtimeCalculator(LoRaTransmissionParameters())
-        self.link_quality = LinkQualityEstimator()
-        self._reception_rng = scenario.streams.stream("reception")
+        self.medium = medium or RadioMedium(
+            config=self.config.radio,
+            reception_rng=scenario.streams.stream("reception"),
+        )
         self._attempt_scheduled: Dict[str, bool] = {
             device_id: False for device_id in scenario.devices
         }
@@ -95,7 +97,7 @@ class MLoRaSimulation:
                     time,
                     self._on_generation_tick,
                     payload=device_id,
-                    priority=_ATTEMPT_PRIORITY,
+                    priority=ATTEMPT_PRIORITY,
                 )
                 time += interval
 
@@ -121,7 +123,7 @@ class MLoRaSimulation:
             max(time, self.simulator.now),
             self._on_scheduled_attempt,
             payload=device_id,
-            priority=_ATTEMPT_PRIORITY,
+            priority=ATTEMPT_PRIORITY,
         )
 
     def _on_scheduled_attempt(self, device_id: str) -> None:
@@ -137,7 +139,7 @@ class MLoRaSimulation:
         if not device.has_data():
             return
         if not device.can_transmit(now):
-            self._schedule_attempt(device_id, device.duty_cycle.next_allowed_time)
+            self._schedule_attempt(device_id, device.next_transmission_time)
             return
         self._transmit_uplink(device)
 
@@ -155,32 +157,42 @@ class MLoRaSimulation:
         device.rca_etx.observe_transmission_slot(now, sink_capacity, wait_s=0.0)
 
         packet = device.build_uplink(now, include_queue_length=scheme.requires_queue_length)
-        airtime_s = self.airtime.time_on_air_s(min(packet.payload_bytes, 255))
+        airtime_s = self.medium.airtime_s(packet.payload_bytes, device.spreading_factor)
         device.record_uplink(now, airtime_s)
 
         rssi_by_receiver: Dict[str, float] = {}
         for gateway_id, link in gateways_in_range:
-            rssi_by_receiver[gateway_id] = link.rssi_dbm
+            if self.scenario.gateways[gateway_id].listens_on(device.channel):
+                rssi_by_receiver[gateway_id] = link.rssi_dbm
         overhearers: Dict[str, float] = {}
         if scheme.uses_forwarding:
             for neighbour_id, link in topology.neighbours(device.device_id, now):
                 neighbour = self.scenario.devices[neighbour_id]
-                if neighbour.is_listening(now):
+                # A single-radio neighbour only hears frames on its own
+                # commissioned channel and spreading factor (trivially true in
+                # the paper's shared-SF7 single-channel setting).
+                if (
+                    neighbour.channel == device.channel
+                    and neighbour.spreading_factor == device.spreading_factor
+                    and neighbour.is_listening(now)
+                ):
                     rssi_by_receiver[neighbour_id] = link.rssi_dbm
                     overhearers[neighbour_id] = link.rssi_dbm
 
-        transmission = Transmission(
+        transmission = self.medium.transmit(
             sender=device.device_id,
-            start_time=now,
-            duration=airtime_s,
+            now=now,
+            payload_bytes=packet.payload_bytes,
             rssi_by_receiver=rssi_by_receiver,
+            spreading_factor=device.spreading_factor,
+            channel=device.channel,
+            airtime_s=airtime_s,
         )
-        self.collision_model.add(transmission)
         self.simulator.schedule(
             now + airtime_s,
             self._on_uplink_complete,
             payload=(device.device_id, packet, transmission, overhearers),
-            priority=_COMPLETION_PRIORITY,
+            priority=COMPLETION_PRIORITY,
         )
 
     # ------------------------------------------------------------------ #
@@ -191,7 +203,9 @@ class MLoRaSimulation:
         device = self.scenario.devices[device_id]
         now = self.simulator.now
 
-        delivered_gateway = self._resolve_gateway_reception(packet, transmission)
+        delivered_gateway = self.medium.resolve_gateway_reception(
+            transmission, self.scenario.gateways
+        )
         if delivered_gateway is not None:
             ack = self.server.process_uplink(packet, delivered_gateway, now)
             self.scenario.gateways[delivered_gateway].receive(packet)
@@ -200,35 +214,16 @@ class MLoRaSimulation:
             # its next duty-cycle opportunity instead of waiting for the next
             # generation tick.
             if device.has_data():
-                self._schedule_attempt(device_id, device.duty_cycle.next_allowed_time)
+                self._schedule_attempt(device_id, device.next_transmission_time)
         else:
             retry_allowed = device.on_uplink_failed()
             if retry_allowed and device.has_data():
-                self._schedule_attempt(device_id, device.duty_cycle.next_allowed_time)
+                self._schedule_attempt(device_id, device.next_transmission_time)
 
         if self.scenario.scheme.uses_forwarding:
             self._resolve_overhearing(device, packet, transmission, overhearers)
 
-        # Trim the collision registry opportunistically; doing it on every
-        # completion is wasteful when many devices transmit.
-        if len(self.collision_model) > 64:
-            self.collision_model.expire(now - _COLLISION_RETENTION_S)
-
-    def _resolve_gateway_reception(
-        self, packet: UplinkPacket, transmission: Transmission
-    ) -> Optional[str]:
-        """The gateway (if any) that decodes the frame, best RSSI first."""
-        candidates = [
-            (rssi, receiver)
-            for receiver, rssi in transmission.rssi_by_receiver.items()
-            if receiver in self.scenario.gateways
-        ]
-        for rssi, gateway_id in sorted(candidates, reverse=True):
-            if not self.collision_model.is_received(transmission, gateway_id):
-                continue
-            if self.link_quality.frame_received(rssi, self._reception_rng):
-                return gateway_id
-        return None
+        self.medium.prune(now)
 
     # ------------------------------------------------------------------ #
     # Overhearing and handovers
@@ -242,13 +237,12 @@ class MLoRaSimulation:
     ) -> None:
         now = self.simulator.now
         scheme = self.scenario.scheme
+        capacity_model = self.scenario.topology.capacity_model_for(sender.device_id)
         for neighbour_id, rssi in overhearers.items():
             neighbour = self.scenario.devices[neighbour_id]
-            if not self.collision_model.is_received(transmission, neighbour_id):
+            if not self.medium.is_decodable(transmission, neighbour_id):
                 continue
-            decision = scheme.on_overhear(
-                neighbour, packet, rssi, self.scenario.capacity_model, now
-            )
+            decision = scheme.on_overhear(neighbour, packet, rssi, capacity_model, now)
             if not decision.forward:
                 continue
             self._perform_handover(neighbour, sender, decision.message_limit, decision.copy)
@@ -268,26 +262,28 @@ class MLoRaSimulation:
             return
 
         payload_bytes = 13 + sum(m.size_bytes for m in messages)
-        airtime_s = self.airtime.time_on_air_s(min(payload_bytes, 255))
+        airtime_s = self.medium.airtime_s(payload_bytes, giver.spreading_factor)
         giver.record_handover_transmission(now, airtime_s)
 
-        # The handover frame occupies the same shared channel as uplinks, so
-        # it interferes with any gateway that can hear the giver.  This is the
-        # congestion cost of device-to-device forwarding.
+        # The handover frame occupies the giver's uplink channel, so it
+        # interferes with any gateway that can hear the giver on it.  This is
+        # the congestion cost of device-to-device forwarding.
         handover_rssi = {
             gateway_id: link.rssi_dbm
             for gateway_id, link in self.scenario.topology.gateways_in_range(
                 giver.device_id, now
             )
+            if self.scenario.gateways[gateway_id].listens_on(giver.channel)
         }
         if handover_rssi:
-            self.collision_model.add(
-                Transmission(
-                    sender=giver.device_id,
-                    start_time=now,
-                    duration=airtime_s,
-                    rssi_by_receiver=handover_rssi,
-                )
+            self.medium.transmit(
+                sender=giver.device_id,
+                now=now,
+                payload_bytes=payload_bytes,
+                rssi_by_receiver=handover_rssi,
+                spreading_factor=giver.spreading_factor,
+                channel=giver.channel,
+                airtime_s=airtime_s,
             )
 
         if copy:
@@ -299,7 +295,7 @@ class MLoRaSimulation:
         self._handed_over_messages += accepted
         # The new carrier uploads at its next opportunity; make sure one exists
         # even if its own generation tick is far away.
-        self._schedule_attempt(taker.device_id, taker.duty_cycle.next_allowed_time)
+        self._schedule_attempt(taker.device_id, taker.next_transmission_time)
 
     @staticmethod
     def _clone_message(message: DataMessage) -> DataMessage:

@@ -29,6 +29,7 @@ from repro.network.node import DeviceNode, SinkNode
 from repro.network.topology import TimeVaryingTopology, TopologyConfig
 from repro.phy.link import LinkCapacityModel
 from repro.phy.pathloss import LogDistancePathLoss
+from repro.radio.sf_policy import RadioAssignment, allocate_radio
 from repro.routing import ForwardingScheme, make_scheme
 from repro.sim.randomness import RandomStreams
 
@@ -68,6 +69,7 @@ class BuiltScenario:
     topology: TimeVaryingTopology
     scheme: ForwardingScheme
     capacity_model: LinkCapacityModel
+    radio_assignments: Dict[str, RadioAssignment]
 
     @property
     def num_devices(self) -> int:
@@ -100,7 +102,6 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
     box = generator.bounding_box
 
     traces: Dict[str, MobilityTrace] = {}
-    devices: Dict[str, EndDevice] = {}
     device_nodes: List[DeviceNode] = []
     for index, trip in enumerate(timetable.trips):
         device_id = f"bus-{index:04d}"
@@ -109,21 +110,50 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
             node_id=device_id,
         )
         traces[device_id] = trace
-        devices[device_id] = EndDevice(
-            device_id,
-            config=config.device,
-            device_class=make_device_class(config.device_class),
-        )
         device_nodes.append(DeviceNode(device_id, trace))
 
     # Gateways.
     gateway_rng = streams.stream("gateway-placement")
+    gateway_positions = _gateway_positions(config, box, gateway_rng)
     gateways: Dict[str, Gateway] = {}
     sink_nodes: List[SinkNode] = []
-    for index, position in enumerate(_gateway_positions(config, box, gateway_rng)):
+    for index, position in enumerate(gateway_positions):
         gateway_id = f"gw-{index:03d}"
         gateways[gateway_id] = Gateway(gateway_id, position)
         sink_nodes.append(SinkNode(gateway_id, position))
+
+    # Radio plan: one (SF, channel) assignment per device.  The default
+    # fixed-sf7 policy touches neither positions nor randomness, so both are
+    # only materialised for the policy that needs them.
+    radio_assignments = allocate_radio(
+        config.radio,
+        device_ids=list(traces),
+        device_positions=(
+            {
+                device_id: trace.position_at(trace.start_time)
+                for device_id, trace in traces.items()
+            }
+            if config.radio.sf_policy == "distance-based"
+            else None
+        ),
+        gateway_positions=gateway_positions,
+        gateway_range_m=config.gateway_range_m,
+        rng=(
+            streams.stream("sf-allocation")
+            if config.radio.sf_policy == "random"
+            else None
+        ),
+    )
+    devices: Dict[str, EndDevice] = {
+        device_id: EndDevice(
+            device_id,
+            config=config.device,
+            device_class=make_device_class(config.device_class),
+            spreading_factor=radio_assignments[device_id].spreading_factor,
+            channel=radio_assignments[device_id].channel,
+        )
+        for device_id in traces
+    }
 
     # Radio models and topology.
     capacity_model = LinkCapacityModel.for_spreading_factor()
@@ -138,6 +168,10 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         path_loss=LogDistancePathLoss(),
         capacity_model=capacity_model,
         rng=streams.stream("shadowing"),
+        sf_by_node={
+            device_id: assignment.spreading_factor
+            for device_id, assignment in radio_assignments.items()
+        },
     )
 
     scheme = make_scheme(config.scheme)
@@ -151,6 +185,7 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         topology=topology,
         scheme=scheme,
         capacity_model=capacity_model,
+        radio_assignments=radio_assignments,
     )
 
 

@@ -28,6 +28,10 @@ except ImportError:  # pragma: no cover - older interpreters
 
 from repro.experiments.config import ScenarioConfig
 from repro.mac.device import DeviceConfig
+from repro.radio.config import RadioConfig
+
+#: Nested dataclass tables inside a scenario mapping.
+_NESTED_TABLES = {"device": DeviceConfig, "radio": RadioConfig}
 
 #: Bump when the serialized field layout changes incompatibly.
 SCENARIO_SCHEMA_VERSION = 1
@@ -88,10 +92,10 @@ def _build_dataclass(cls: type, owner: str, data: Mapping[str, Any]) -> Any:
     kwargs: Dict[str, Any] = {}
     for name, value in data.items():
         field = fields[name]
-        if name == "device":
+        if owner == "scenario" and name in _NESTED_TABLES:
             if not isinstance(value, Mapping):
-                raise ScenarioFormatError(f"{owner}.device must be a table/object, got {value!r}")
-            kwargs[name] = _build_dataclass(DeviceConfig, "device", value)
+                raise ScenarioFormatError(f"{owner}.{name} must be a table/object, got {value!r}")
+            kwargs[name] = _build_dataclass(_NESTED_TABLES[name], name, value)
         else:
             kwargs[name] = _coerce_field(owner, field, value)
     try:
@@ -160,13 +164,16 @@ def _toml_scalar(owner: str, key: str, value: Any) -> str:
 
 
 def scenario_to_toml(config: ScenarioConfig) -> str:
-    """The configuration as TOML text (scalars first, then the [device] table)."""
+    """The configuration as TOML text (scalars first, then the nested tables)."""
     data = scenario_to_dict(config)
-    device = data.pop("device")
+    tables = {name: data.pop(name) for name in _NESTED_TABLES}
     lines = [f"{key} = {_toml_scalar('scenario', key, value)}" for key, value in data.items()]
-    lines.append("")
-    lines.append("[device]")
-    lines.extend(f"{key} = {_toml_scalar('device', key, value)}" for key, value in device.items())
+    for name, table in tables.items():
+        lines.append("")
+        lines.append(f"[{name}]")
+        lines.extend(
+            f"{key} = {_toml_scalar(name, key, value)}" for key, value in table.items()
+        )
     return "\n".join(lines) + "\n"
 
 

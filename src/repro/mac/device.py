@@ -24,6 +24,7 @@ from repro.mac.frames import (
     bundle_messages,
 )
 from repro.mac.queueing import DataQueue
+from repro.phy.constants import SpreadingFactor
 from repro.phy.energy import EnergyModel, RadioState
 
 
@@ -81,12 +82,20 @@ class EndDevice:
         config: DeviceConfig = DeviceConfig(),
         device_class: Optional[DeviceClass] = None,
         packet_bits: Optional[float] = None,
+        spreading_factor: SpreadingFactor = SpreadingFactor.SF7,
+        channel: int = 0,
     ) -> None:
         if not device_id:
             raise ValueError("device_id must be a non-empty string")
+        if channel < 0:
+            raise ValueError(f"channel must be non-negative, got {channel}")
         self.device_id = device_id
         self.config = config
         self.device_class = device_class or ModifiedClassC()
+        #: The radio assignment this device transmits with (fixed at
+        #: commissioning time, like real sensor firmware).
+        self.spreading_factor = spreading_factor
+        self.channel = channel
         self.queue = DataQueue(max_size=config.max_queue_size)
         self.duty_cycle = DutyCycleRegulator(config.duty_cycle)
         typical_payload_bits = 8.0 * (
@@ -114,6 +123,8 @@ class EndDevice:
             source=self.device_id,
             created_at=now,
             size_bytes=self.config.message_size_bytes,
+            spreading_factor=self.spreading_factor,
+            channel=self.channel,
         )
         self.queue.push(message)
         self.stats.messages_generated += 1
@@ -132,12 +143,17 @@ class EndDevice:
     # Uplink construction and outcomes
     # ------------------------------------------------------------------ #
     def can_transmit(self, now: float) -> bool:
-        """True when the duty-cycle regulator allows a transmission at ``now``."""
-        return self.duty_cycle.can_transmit(now)
+        """True when the duty cycle allows a transmission on this device's channel."""
+        return self.duty_cycle.can_transmit(now, self.channel)
 
     def transmission_wait(self, now: float) -> float:
         """Seconds until the duty cycle next allows a transmission."""
-        return self.duty_cycle.wait_time(now)
+        return self.duty_cycle.wait_time(now, self.channel)
+
+    @property
+    def next_transmission_time(self) -> float:
+        """Earliest time the duty cycle allows this device's next transmission."""
+        return self.duty_cycle.next_allowed_time_on(self.channel)
 
     def build_uplink(self, now: float, include_queue_length: bool) -> UplinkPacket:
         """Bundle queued messages into an uplink with piggybacked metrics.
@@ -157,18 +173,20 @@ class EndDevice:
             messages=tuple(messages),
             rca_etx_s=self.rca_etx.sink_metric(),
             queue_length=self.queue_length() if include_queue_length else None,
+            spreading_factor=self.spreading_factor,
+            channel=self.channel,
         )
 
     def record_uplink(self, now: float, airtime_s: float) -> None:
         """Account duty cycle, energy and statistics for an uplink transmission."""
-        self.duty_cycle.record_transmission(now, airtime_s)
+        self.duty_cycle.record_transmission(now, airtime_s, self.channel)
         self.energy.accumulate(RadioState.TX, airtime_s)
         self.stats.uplink_transmissions += 1
         self.last_uplink_end = now + airtime_s
 
     def record_handover_transmission(self, now: float, airtime_s: float) -> None:
         """Account for a device-to-device handover frame this device sent."""
-        self.duty_cycle.record_transmission(now, airtime_s)
+        self.duty_cycle.record_transmission(now, airtime_s, self.channel)
         self.energy.accumulate(RadioState.TX, airtime_s)
         self.stats.handover_transmissions += 1
         self.last_uplink_end = now + airtime_s

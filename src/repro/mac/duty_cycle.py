@@ -1,34 +1,50 @@
-"""Per-device duty-cycle regulation (EU868 general channels: 1 %).
+"""Per-device, per-channel duty-cycle regulation (EU868 general channels: 1 %).
 
 After transmitting a frame of airtime ``T`` the device must stay silent for
-``T · (1/duty − 1)`` on that band.  The regulator tracks the earliest time a
-new transmission may start and, for diagnostics, the cumulative airtime used.
+``T · (1/duty − 1)`` on the channel it used.  The regulator tracks the
+earliest time a new transmission may start *per channel* — a device hopping
+between channels owes off-time only on the channel it just occupied — and,
+for diagnostics, the cumulative airtime used.  Single-channel devices (the
+paper's setting) see exactly the historical shared-off-time behaviour.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 from repro.phy.constants import EU868_DUTY_CYCLE
 
 
 class DutyCycleRegulator:
-    """Enforces the minimum off-time after each transmission."""
+    """Enforces the minimum off-time after each transmission, per channel."""
 
     def __init__(self, duty_cycle: float = EU868_DUTY_CYCLE) -> None:
         if not 0 < duty_cycle <= 1:
             raise ValueError(f"duty_cycle must be in (0, 1], got {duty_cycle}")
         self.duty_cycle = duty_cycle
-        self._next_allowed_time = 0.0
+        self._next_allowed_by_channel: Dict[int, float] = {}
         self._total_airtime_s = 0.0
         self._transmissions = 0
 
     @property
     def next_allowed_time(self) -> float:
-        """Earliest simulation time at which the next transmission may start."""
-        return self._next_allowed_time
+        """Earliest time the next transmission may start on the busiest channel.
+
+        Devices in this simulator stay on one channel, so "busiest" and "the
+        device's channel" coincide; the property keeps the historical
+        single-channel reading.
+        """
+        if not self._next_allowed_by_channel:
+            return 0.0
+        return max(self._next_allowed_by_channel.values())
+
+    def next_allowed_time_on(self, channel: int) -> float:
+        """Earliest time the next transmission may start on ``channel``."""
+        return self._next_allowed_by_channel.get(channel, 0.0)
 
     @property
     def total_airtime_s(self) -> float:
-        """Cumulative time on air so far."""
+        """Cumulative time on air so far (all channels)."""
         return self._total_airtime_s
 
     @property
@@ -36,35 +52,37 @@ class DutyCycleRegulator:
         """Number of transmissions recorded."""
         return self._transmissions
 
-    def can_transmit(self, now: float) -> bool:
-        """True when a transmission may start at ``now``."""
-        return now >= self._next_allowed_time
+    def can_transmit(self, now: float, channel: int = 0) -> bool:
+        """True when a transmission may start at ``now`` on ``channel``."""
+        return now >= self.next_allowed_time_on(channel)
 
-    def wait_time(self, now: float) -> float:
+    def wait_time(self, now: float, channel: int = 0) -> float:
         """Seconds until the next transmission is allowed (0 when allowed now)."""
-        return max(self._next_allowed_time - now, 0.0)
+        return max(self.next_allowed_time_on(channel) - now, 0.0)
 
-    def record_transmission(self, now: float, airtime_s: float) -> float:
+    def record_transmission(
+        self, now: float, airtime_s: float, channel: int = 0
+    ) -> float:
         """Account for a transmission starting at ``now``; returns the next allowed time.
 
         Raises
         ------
         ValueError
-            If the transmission starts before the off-time expired or has a
-            non-positive airtime.
+            If the transmission starts before the channel's off-time expired
+            or has a non-positive airtime.
         """
         if airtime_s <= 0:
             raise ValueError(f"airtime must be positive, got {airtime_s}")
-        if not self.can_transmit(now):
+        if not self.can_transmit(now, channel):
             raise ValueError(
-                f"transmission at {now:.3f}s violates duty cycle; "
-                f"next allowed at {self._next_allowed_time:.3f}s"
+                f"transmission at {now:.3f}s violates duty cycle on channel "
+                f"{channel}; next allowed at {self.next_allowed_time_on(channel):.3f}s"
             )
         self._total_airtime_s += airtime_s
         self._transmissions += 1
         off_time = airtime_s * (1.0 / self.duty_cycle - 1.0)
-        self._next_allowed_time = now + airtime_s + off_time
-        return self._next_allowed_time
+        self._next_allowed_by_channel[channel] = now + airtime_s + off_time
+        return self._next_allowed_by_channel[channel]
 
     def utilisation(self, horizon_s: float) -> float:
         """Fraction of ``horizon_s`` spent transmitting (diagnostic)."""

@@ -10,7 +10,7 @@ made by the PHY/collision layer in the simulation engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.mobility.geometry import Point
 from repro.mac.frames import UplinkPacket
@@ -18,10 +18,17 @@ from repro.mac.frames import UplinkPacket
 
 @dataclass
 class Gateway:
-    """A static LoRaWAN gateway at a fixed position."""
+    """A static LoRaWAN gateway at a fixed position.
+
+    ``channels`` restricts which uplink channels the gateway demodulates;
+    ``None`` (the default, and the realistic setting — SX1301-class gateway
+    concentrators listen on all plan channels and all spreading factors at
+    once) means every channel.
+    """
 
     gateway_id: str
     position: Point
+    channels: Optional[Tuple[int, ...]] = None
     frames_received: int = 0
     messages_received: int = 0
     frames_by_device: Dict[str, int] = field(default_factory=dict)
@@ -29,6 +36,12 @@ class Gateway:
     def __post_init__(self) -> None:
         if not self.gateway_id:
             raise ValueError("gateway_id must be a non-empty string")
+        if self.channels is not None and any(c < 0 for c in self.channels):
+            raise ValueError("gateway channels must be non-negative")
+
+    def listens_on(self, channel: int) -> bool:
+        """True when the gateway demodulates uplinks on ``channel``."""
+        return self.channels is None or channel in self.channels
 
     def receive(self, packet: UplinkPacket) -> None:
         """Record the reception of an uplink frame."""

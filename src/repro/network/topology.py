@@ -16,7 +16,7 @@ Sec. VII-A6) with the RSSI→capacity mapping of Eq. (5) inside that range.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +73,7 @@ class TimeVaryingTopology:
         capacity_model: Optional[LinkCapacityModel] = None,
         rng: Optional[np.random.Generator] = None,
         position_cache_window_s: float = 15.0,
+        sf_by_node: Optional[Mapping[str, SpreadingFactor]] = None,
     ) -> None:
         if not sinks:
             raise ValueError("a topology needs at least one sink")
@@ -90,6 +91,15 @@ class TimeVaryingTopology:
         self.capacity_model = capacity_model or LinkCapacityModel.for_spreading_factor(
             config.spreading_factor
         )
+        # Per-node spreading factors make link capacity SF-dependent: a link
+        # whose transmitter runs a slower SF carries fewer bits per second
+        # (Eq. 5 scaled to that SF's duty-cycle-limited bitrate).  Nodes
+        # without an entry — and every node at the topology's base SF — use
+        # the base capacity model, so single-SF scenarios are untouched.
+        self._sf_by_node: Dict[str, SpreadingFactor] = dict(sf_by_node or {})
+        self._capacity_by_sf: Dict[SpreadingFactor, LinkCapacityModel] = {
+            config.spreading_factor: self.capacity_model
+        }
         self._rng = rng
         if position_cache_window_s < 0:
             raise ValueError("position_cache_window_s must be non-negative")
@@ -140,22 +150,43 @@ class TimeVaryingTopology:
     # ------------------------------------------------------------------ #
     # Links
     # ------------------------------------------------------------------ #
-    def _link_state(self, a: Point, b: Point, range_m: float) -> LinkState:
+    def node_spreading_factor(self, node_id: str) -> SpreadingFactor:
+        """The spreading factor ``node_id`` transmits with (base SF by default)."""
+        return self._sf_by_node.get(node_id, self.config.spreading_factor)
+
+    def capacity_model_for(self, node_id: str) -> LinkCapacityModel:
+        """The capacity model matching the transmitter's spreading factor."""
+        sf = self.node_spreading_factor(node_id)
+        model = self._capacity_by_sf.get(sf)
+        if model is None:
+            model = LinkCapacityModel.for_spreading_factor(sf)
+            self._capacity_by_sf[sf] = model
+        return model
+
+    def _link_state(
+        self,
+        a: Point,
+        b: Point,
+        range_m: float,
+        capacity_model: Optional[LinkCapacityModel] = None,
+    ) -> LinkState:
         distance = a.distance_to(b)
         if distance > range_m:
             return LinkState(rssi_dbm=float("-inf"), capacity_bps=0.0, distance_m=distance)
         rng = self._rng if self.config.shadowing_enabled else None
         rssi = self.path_loss.received_power_dbm(self.config.tx_power_dbm, distance, rng)
-        capacity = self.capacity_model.capacity_bps(rssi)
+        capacity = (capacity_model or self.capacity_model).capacity_bps(rssi)
         return LinkState(rssi_dbm=rssi, capacity_bps=capacity, distance_m=distance)
 
     def device_link(self, x: str, y: str, time: float) -> LinkState:
-        """State of the device-to-device link (x, y) at ``time``."""
+        """State of the device-to-device link (x, y) at ``time`` (x transmitting)."""
         pos_x = self.device_position(x, time)
         pos_y = self.device_position(y, time)
         if pos_x is None or pos_y is None:
             return LinkState(float("-inf"), 0.0, float("inf"))
-        return self._link_state(pos_x, pos_y, self.config.device_range_m)
+        return self._link_state(
+            pos_x, pos_y, self.config.device_range_m, self.capacity_model_for(x)
+        )
 
     def best_gateway(self, device_id: str, time: float) -> Tuple[Optional[str], LinkState]:
         """The closest in-range gateway for ``device_id`` and the link to it.
@@ -169,11 +200,14 @@ class TimeVaryingTopology:
             return None, disconnected
         best_id: Optional[str] = None
         best_state = disconnected
+        capacity_model = self.capacity_model_for(device_id)
         for sink_id in self._sink_index.candidates_in_disc(
             position, self.config.gateway_range_m
         ):
             sink = self.sinks[sink_id]
-            state = self._link_state(position, sink.position, self.config.gateway_range_m)
+            state = self._link_state(
+                position, sink.position, self.config.gateway_range_m, capacity_model
+            )
             if state.connected and (best_id is None or state.rssi_dbm > best_state.rssi_dbm):
                 best_id = sink.node_id
                 best_state = state
@@ -190,11 +224,14 @@ class TimeVaryingTopology:
         if position is None:
             return []
         result: List[Tuple[str, LinkState]] = []
+        capacity_model = self.capacity_model_for(device_id)
         for sink_id in self._sink_index.candidates_in_disc(
             position, self.config.gateway_range_m
         ):
             sink = self.sinks[sink_id]
-            state = self._link_state(position, sink.position, self.config.gateway_range_m)
+            state = self._link_state(
+                position, sink.position, self.config.gateway_range_m, capacity_model
+            )
             if state.connected:
                 result.append((sink.node_id, state))
         return result
@@ -259,6 +296,7 @@ class TimeVaryingTopology:
                 )
         self.neighbour_query_count += 1
         result: List[Tuple[str, LinkState]] = []
+        capacity_model = self.capacity_model_for(device_id)
         for other_id in candidates:
             if other_id == device_id:
                 continue
@@ -266,7 +304,9 @@ class TimeVaryingTopology:
             other_position = self.devices[other_id].position_at(time)
             if other_position is None:
                 continue
-            state = self._link_state(position, other_position, self.config.device_range_m)
+            state = self._link_state(
+                position, other_position, self.config.device_range_m, capacity_model
+            )
             if state.connected:
                 result.append((other_id, state))
         return result

@@ -16,6 +16,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
+#: Canonical secondary-ordering priorities for simulation engines built on
+#: this queue.  Transmission completions must resolve before new transmission
+#: attempts scheduled for the same instant (a device whose uplink just ended
+#: sees the acknowledgement before it decides to retransmit), so completions
+#: get the lower (earlier) priority.  Defined once here — the event queue owns
+#: event ordering — rather than per engine.
+COMPLETION_PRIORITY = 1
+ATTEMPT_PRIORITY = 2
+
+
 class EventCancelled(Exception):
     """Raised when interacting with an event that has been cancelled."""
 

@@ -63,3 +63,42 @@ class TestDutyCycleRegulator:
             regulator.record_transmission(0.0, 0.0)
         with pytest.raises(ValueError):
             regulator.utilisation(0.0)
+
+
+class TestPerChannelAccounting:
+    def test_off_time_is_owed_per_channel(self):
+        regulator = DutyCycleRegulator(0.01)
+        regulator.record_transmission(0.0, 1.0, channel=0)
+        # Channel 0 is blocked for 99 s; channel 1 is immediately free.
+        assert not regulator.can_transmit(50.0, channel=0)
+        assert regulator.can_transmit(50.0, channel=1)
+        regulator.record_transmission(50.0, 1.0, channel=1)
+        assert regulator.next_allowed_time_on(0) == pytest.approx(100.0)
+        assert regulator.next_allowed_time_on(1) == pytest.approx(150.0)
+
+    def test_violation_names_the_channel(self):
+        regulator = DutyCycleRegulator(0.01)
+        regulator.record_transmission(0.0, 1.0, channel=2)
+        with pytest.raises(ValueError, match="channel 2"):
+            regulator.record_transmission(10.0, 1.0, channel=2)
+
+    def test_next_allowed_time_reports_the_busiest_channel(self):
+        regulator = DutyCycleRegulator(0.5)
+        assert regulator.next_allowed_time == 0.0
+        regulator.record_transmission(0.0, 1.0, channel=0)
+        regulator.record_transmission(0.0, 2.0, channel=1)
+        assert regulator.next_allowed_time == pytest.approx(4.0)
+
+    def test_airtime_accumulates_across_channels(self):
+        regulator = DutyCycleRegulator(0.5)
+        regulator.record_transmission(0.0, 1.0, channel=0)
+        regulator.record_transmission(0.0, 2.0, channel=1)
+        assert regulator.total_airtime_s == pytest.approx(3.0)
+        assert regulator.transmission_count == 2
+
+    def test_default_channel_keeps_single_channel_semantics(self):
+        shared = DutyCycleRegulator(0.01)
+        explicit = DutyCycleRegulator(0.01)
+        shared.record_transmission(0.0, 1.0)
+        explicit.record_transmission(0.0, 1.0, channel=0)
+        assert shared.next_allowed_time == explicit.next_allowed_time

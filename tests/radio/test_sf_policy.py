@@ -1,0 +1,102 @@
+"""Spreading-factor / channel allocation policies."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.geometry import Point
+from repro.phy.constants import SpreadingFactor
+from repro.radio.config import RadioConfig
+from repro.radio.sf_policy import RadioAssignment, allocate_radio, distance_based_sf
+
+DEVICES = [f"bus-{i:04d}" for i in range(12)]
+
+
+class TestDistanceRings:
+    def test_ring_edges(self):
+        assert distance_based_sf(0.0, 1000.0) == SpreadingFactor.SF7
+        assert distance_based_sf(166.0, 1000.0) == SpreadingFactor.SF7
+        assert distance_based_sf(500.0, 1000.0) == SpreadingFactor.SF10
+        assert distance_based_sf(999.0, 1000.0) == SpreadingFactor.SF12
+        assert distance_based_sf(5000.0, 1000.0) == SpreadingFactor.SF12
+
+    def test_monotone_in_distance(self):
+        sfs = [distance_based_sf(d, 1000.0) for d in range(0, 2000, 50)]
+        assert sfs == sorted(sfs)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            distance_based_sf(-1.0, 1000.0)
+        with pytest.raises(ValueError):
+            distance_based_sf(100.0, 0.0)
+
+
+class TestFixedSf7:
+    def test_everyone_on_sf7_channel_round_robin(self):
+        assignments = allocate_radio(RadioConfig(num_channels=3), DEVICES)
+        assert set(assignments) == set(DEVICES)
+        assert all(
+            a.spreading_factor == SpreadingFactor.SF7 for a in assignments.values()
+        )
+        channels = [assignments[d].channel for d in DEVICES]
+        assert channels == [i % 3 for i in range(len(DEVICES))]
+
+    def test_needs_neither_positions_nor_rng(self):
+        assignments = allocate_radio(RadioConfig(), DEVICES)
+        assert all(a == RadioAssignment() for a in assignments.values())
+
+
+class TestDistanceBased:
+    def test_sf_grows_with_gateway_distance(self):
+        config = RadioConfig(sf_policy="distance-based")
+        positions = {d: Point(100.0 * i, 0.0) for i, d in enumerate(DEVICES)}
+        assignments = allocate_radio(
+            config,
+            DEVICES,
+            device_positions=positions,
+            gateway_positions=[Point(0.0, 0.0)],
+            gateway_range_m=1000.0,
+        )
+        sfs = [int(assignments[d].spreading_factor) for d in DEVICES]
+        assert sfs == sorted(sfs)
+        assert sfs[0] == 7
+        assert sfs[-1] == 12
+
+    def test_nearest_gateway_wins(self):
+        config = RadioConfig(sf_policy="distance-based")
+        assignments = allocate_radio(
+            config,
+            ["bus-0000"],
+            device_positions={"bus-0000": Point(950.0, 0.0)},
+            gateway_positions=[Point(0.0, 0.0), Point(1000.0, 0.0)],
+            gateway_range_m=1000.0,
+        )
+        # 50 m from the second gateway → innermost ring despite being at the
+        # edge of the first gateway's cell.
+        assert assignments["bus-0000"].spreading_factor == SpreadingFactor.SF7
+
+    def test_unplaceable_device_gets_longest_reach(self):
+        config = RadioConfig(sf_policy="distance-based")
+        assignments = allocate_radio(
+            config,
+            ["ghost"],
+            device_positions={"ghost": None},
+            gateway_positions=[Point(0.0, 0.0)],
+        )
+        assert assignments["ghost"].spreading_factor == SpreadingFactor.SF12
+
+    def test_missing_gateways_rejected(self):
+        with pytest.raises(ValueError, match="gateway positions"):
+            allocate_radio(RadioConfig(sf_policy="distance-based"), DEVICES)
+
+
+class TestRandom:
+    def test_deterministic_under_a_seeded_rng(self):
+        config = RadioConfig(num_channels=8, sf_policy="random")
+        first = allocate_radio(config, DEVICES, rng=np.random.default_rng(5))
+        second = allocate_radio(config, DEVICES, rng=np.random.default_rng(5))
+        assert first == second
+        assert {int(a.spreading_factor) for a in first.values()} <= set(range(7, 13))
+
+    def test_requires_an_rng(self):
+        with pytest.raises(ValueError, match="RNG"):
+            allocate_radio(RadioConfig(sf_policy="random"), DEVICES)
