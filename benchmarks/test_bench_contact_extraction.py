@@ -1,0 +1,102 @@
+"""Micro-benchmark of the vectorized contact-extraction pipeline.
+
+Pins the two properties the mobility tentpole promises:
+
+* the vectorized per-pair extractor is ≥5× faster than the scalar reference
+  scan on the same workload (the PR acceptance floor; in practice it is far
+  beyond that at fine sample steps), while returning identical intervals;
+* the spatially pruned all-pairs contact graph visits far fewer pairs than
+  N·(N−1)/2 without losing a single interval.
+
+Wall-clock results land in ``BENCH_results.json`` via the shared conftest.
+"""
+
+import time
+
+from repro.mobility.london import LondonBusNetworkConfig, LondonBusNetworkGenerator
+from repro.network.contact import (
+    _candidate_pairs,
+    extract_contact_graph,
+    extract_contacts,
+    extract_contacts_scalar,
+)
+from repro.sim.randomness import RandomStreams
+
+RANGE_M = 500.0
+STEP_S = 5.0
+
+#: A compact daytime fleet with long, overlapping service spans, so pair
+#: grids are thousands of samples — the regime the vectorization targets.
+NETWORK = LondonBusNetworkConfig(
+    area_km2=40.0,
+    num_routes=10,
+    trips_per_route=3,
+    stops_per_route=8,
+    min_repeats=2,
+    max_repeats=4,
+    horizon_s=6 * 3600.0,
+    day_start_s=0.25 * 5.5 * 3600.0,
+    day_end_s=0.25 * 22.0 * 3600.0,
+)
+
+
+def _fleet():
+    generator = LondonBusNetworkGenerator(NETWORK, RandomStreams(7).stream("mobility"))
+    return generator.generate().traces()
+
+
+def test_bench_vectorized_pair_extraction_beats_scalar_oracle(benchmark):
+    traces = _fleet()
+    pairs = [
+        (first, second)
+        for index, first in enumerate(traces)
+        for second in traces[index + 1:]
+    ]
+
+    def run_vectorized():
+        return [extract_contacts(a, b, RANGE_M, STEP_S) for a, b in pairs]
+
+    vectorized = benchmark.pedantic(run_vectorized, rounds=3, iterations=1)
+
+    start = time.perf_counter()
+    scalar = [extract_contacts_scalar(a, b, RANGE_M, STEP_S) for a, b in pairs]
+    scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_vectorized()
+    vectorized_s = time.perf_counter() - start
+
+    assert scalar == vectorized, "vectorized pipeline diverged from the oracle"
+    speedup = scalar_s / max(vectorized_s, 1e-9)
+    print()
+    print(
+        f"pairs={len(pairs)} contacts={sum(len(c) for c in scalar)} "
+        f"scalar={scalar_s:.3f}s vectorized={vectorized_s:.3f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    # The PR acceptance floor; the headroom above 5x absorbs CI noise.
+    assert speedup >= 5.0, f"vectorized path only {speedup:.1f}x faster than the oracle"
+
+
+def test_bench_contact_graph_prunes_pairs_without_losing_contacts(benchmark):
+    traces = _fleet()
+
+    graph = benchmark.pedantic(
+        lambda: extract_contact_graph(traces, RANGE_M, STEP_S), rounds=3, iterations=1
+    )
+
+    brute = [
+        interval
+        for index, first in enumerate(traces)
+        for second in traces[index + 1:]
+        for interval in extract_contacts(first, second, RANGE_M, STEP_S)
+    ]
+    assert graph == brute, "pruned contact graph lost or reordered intervals"
+
+    all_pairs = len(traces) * (len(traces) - 1) // 2
+    candidates = len(_candidate_pairs(traces, RANGE_M, 900.0))
+    print()
+    print(
+        f"traces={len(traces)} all-pairs={all_pairs} candidates={candidates} "
+        f"pruning={all_pairs / max(candidates, 1):.1f}x contacts={len(brute)}"
+    )
+    assert candidates < all_pairs

@@ -55,6 +55,7 @@ from repro.experiments.serialization import (
     save_scenario,
     scenario_to_json,
 )
+from repro.mobility.config import MOBILITY_MODELS
 from repro.radio.config import SF_POLICIES
 from repro.routing import SCHEME_REGISTRY, make_scheme
 
@@ -147,6 +148,7 @@ def list_payload() -> dict:
                 "duration_s": preset.config.duration_s,
                 "num_channels": preset.config.radio.num_channels,
                 "sf_policy": preset.config.radio.sf_policy,
+                "mobility_model": preset.config.mobility.model,
                 "figure": preset.figure,
                 "tags": list(preset.tags),
                 "description": preset.description,
@@ -232,6 +234,9 @@ def _overrides_from(args: argparse.Namespace) -> dict:
         "seed": args.seed,
         "num_channels": args.channels,
         "sf_policy": args.sf_policy,
+        "mobility": args.mobility,
+        "mobility_nodes": args.mobility_nodes,
+        "trace_file": args.trace_file,
     }
 
 
@@ -370,6 +375,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sf-policy", default=None, dest="sf_policy",
                      choices=SF_POLICIES,
                      help="spreading-factor allocation policy (default fixed-sf7)")
+    run.add_argument("--mobility", default=None, choices=MOBILITY_MODELS,
+                     help="mobility model generating the traces (default london-bus)")
+    run.add_argument("--mobility-nodes", type=int, default=None, dest="mobility_nodes",
+                     help="synthetic fleet size (default: the bus fleet size)")
+    run.add_argument("--trace-file", default=None, dest="trace_file", metavar="CSV",
+                     help="replay recorded node_id,time_s,x_m,y_m traces "
+                          "(implies --mobility trace-file)")
     run.set_defaults(func=_cmd_run)
 
     sweep = subparsers.add_parser(

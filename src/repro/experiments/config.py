@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.mac.device import DeviceConfig
+from repro.mobility.config import MobilityConfig
 from repro.mobility.london import DAY_SECONDS, LondonBusNetworkConfig
 from repro.radio.config import RadioConfig
 
@@ -43,6 +44,10 @@ class ScenarioConfig:
     stops_per_route: int = 12
     min_block_repeats: int = 4
     max_block_repeats: int = 12
+    #: Which mobility model generates the traces; the default (``london-bus``)
+    #: is the paper's synthetic bus network and is bit-compatible with the
+    #: pre-mobility-refactor engine.
+    mobility: MobilityConfig = field(default_factory=MobilityConfig)
 
     # Radio / protocol
     shadowing: bool = False
@@ -90,11 +95,17 @@ class ScenarioConfig:
             raise ValueError("scale must be positive")
         if scale > 1:
             raise ValueError("scale is a shrink factor and must be <= 1")
+        mobility = self.mobility
+        if mobility.num_nodes > 0:
+            # An explicit synthetic fleet shrinks with the area too; the
+            # derived default (num_nodes == 0) already follows num_routes.
+            mobility = mobility.with_num_nodes(max(1, round(mobility.num_nodes * scale)))
         return replace(
             self,
             area_km2=self.area_km2 * scale,
             num_gateways=max(1, round(self.num_gateways * scale)),
             num_routes=max(1, round(self.num_routes * scale)),
+            mobility=mobility,
         )
 
     def with_scheme(self, scheme: str) -> "ScenarioConfig":
@@ -125,6 +136,39 @@ class ScenarioConfig:
         if sf_policy is not None:
             radio = radio.with_sf_policy(sf_policy)
         return replace(self, radio=radio)
+
+    def with_mobility(
+        self,
+        model: Optional[str] = None,
+        num_nodes: Optional[int] = None,
+        trace_file: Optional[str] = None,
+    ) -> "ScenarioConfig":
+        """A copy running a different mobility model (and/or fleet sizing)."""
+        if trace_file is not None and model is not None and model != "trace-file":
+            raise ValueError(
+                f"cannot combine a trace file with mobility model {model!r}; "
+                "a trace file implies the trace-file model"
+            )
+        mobility = self.mobility
+        if trace_file is not None:
+            # Before any model switch: selecting model="trace-file" is only
+            # valid once the path is in place.
+            mobility = mobility.with_trace_file(trace_file)
+        if model is not None:
+            mobility = mobility.with_model(model)
+        if num_nodes is not None:
+            mobility = mobility.with_num_nodes(num_nodes)
+        return replace(self, mobility=mobility)
+
+    def mobility_spec(self):
+        """The :class:`~repro.mobility.models.MobilitySpec` of this scenario."""
+        from repro.mobility.models import MobilitySpec
+
+        return MobilitySpec(
+            mobility=self.mobility,
+            network=self.mobility_config(),
+            duration_s=self.duration_s,
+        )
 
     def mobility_config(self, horizon_s: Optional[float] = None) -> LondonBusNetworkConfig:
         """The bus-network generator configuration implied by this scenario.

@@ -31,10 +31,13 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.analysis.metrics import RunMetrics
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
+from repro.mobility.config import MobilityConfig
 from repro.radio.config import RadioConfig
 
-#: The default radio section, excluded from digests for cache stability.
+#: The default radio/mobility sections, excluded from digests for cache
+#: stability (configurations that predate each subsystem keep their digests).
 _DEFAULT_RADIO_DICT = asdict(RadioConfig())
+_DEFAULT_MOBILITY_DICT = asdict(MobilityConfig())
 
 #: Derived seeds stay in the positive signed-64-bit range.
 _SEED_SPACE = 2**63
@@ -66,19 +69,43 @@ def derive_run_seed(
     return int.from_bytes(digest[:8], "little") % _SEED_SPACE
 
 
+def _trace_file_content_digest(path: str) -> str:
+    """SHA-256 of a mobility trace file's bytes (cache key material).
+
+    A trace-file scenario is only fully described by the *contents* of the
+    replayed file — the path alone would let an edited file silently replay
+    stale cached metrics.  An unreadable file gets a sentinel; the run itself
+    will fail loudly later.
+    """
+    try:
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except OSError:
+        return "unreadable"
+
+
 def config_digest(config: ScenarioConfig) -> str:
     """A stable hex digest of every field of ``config`` (cache key material).
 
-    The ``radio`` section is omitted while it holds the default (one channel,
-    fixed SF7) so that every configuration that existed before the radio
-    subsystem keeps its historical digest — archived sweep caches stay valid
-    and the "same digest → same RunMetrics" equivalence holds across the
-    refactor.  Non-default radio settings change simulation behaviour and
-    therefore the digest.
+    The ``radio`` and ``mobility`` sections are omitted while they hold their
+    defaults (one channel fixed SF7; the London bus network) so that every
+    configuration that existed before each subsystem keeps its historical
+    digest — archived sweep caches stay valid and the "same digest → same
+    RunMetrics" equivalence holds across the refactors.  Non-default radio or
+    mobility settings change simulation behaviour and therefore the digest;
+    a ``trace-file`` mobility section additionally digests the trace file's
+    contents, since those *are* the scenario's mobility.
     """
     payload_dict = asdict(config)
     if payload_dict.get("radio") == _DEFAULT_RADIO_DICT:
         del payload_dict["radio"]
+    mobility = payload_dict.get("mobility")
+    if mobility == _DEFAULT_MOBILITY_DICT:
+        del payload_dict["mobility"]
+    elif mobility and mobility.get("model") == "trace-file":
+        mobility["trace_file_sha256"] = _trace_file_content_digest(
+            mobility["trace_file"]
+        )
     payload = json.dumps(payload_dict, sort_keys=True, default=repr)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

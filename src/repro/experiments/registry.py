@@ -44,6 +44,7 @@ from repro.experiments.figures import (
     figure12_hops,
     figure13_overhead,
     run_density_sweep,
+    run_mobility_sweep,
     run_multisf_sweep,
 )
 from repro.experiments.parallel import SweepExecutor
@@ -54,6 +55,7 @@ from repro.experiments.reporting import (
     format_timeseries,
 )
 from repro.experiments.sweeps import RURAL_DEVICE_RANGE_M, URBAN_DEVICE_RANGE_M
+from repro.mobility.config import MobilityConfig
 from repro.mobility.london import DAY_SECONDS
 from repro.radio.config import RadioConfig
 
@@ -352,6 +354,41 @@ register_preset(ScenarioPreset(
 ))
 
 register_preset(ScenarioPreset(
+    name="urban-rwp",
+    description=(
+        "The `urban` preset under classic random-waypoint mobility instead of "
+        "the bus network: the same fleet size roams the same area without "
+        "routes or a diurnal timetable, isolating how much of each scheme's "
+        "gain is owed to the bus network's contact structure."
+    ),
+    tags=("synthetic", "urban", "mobility"),
+    config=replace(
+        _paper_point(
+            "urban-rwp", spatial_scale=0.10, duration_s=4 * 3600.0,
+            nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        ),
+        mobility=MobilityConfig(model="random-waypoint"),
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="urban-manhattan",
+    description=(
+        "The `urban` preset on a Manhattan street grid (streets every 500 m): "
+        "route-constrained like the buses but without radial geometry or a "
+        "timetable — the classic urban VANET workload."
+    ),
+    tags=("synthetic", "urban", "mobility"),
+    config=replace(
+        _paper_point(
+            "urban-manhattan", spatial_scale=0.10, duration_s=4 * 3600.0,
+            nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        ),
+        mobility=MobilityConfig(model="grid-manhattan"),
+    ),
+))
+
+register_preset(ScenarioPreset(
     name="quickstart",
     description=(
         "A small friendly first run: 30 km², 4 gateways, 24 buses, 2 simulated "
@@ -406,6 +443,9 @@ def apply_overrides(
     seed: Optional[int] = None,
     num_channels: Optional[int] = None,
     sf_policy: Optional[str] = None,
+    mobility: Optional[str] = None,
+    mobility_nodes: Optional[int] = None,
+    trace_file: Optional[str] = None,
 ) -> ScenarioConfig:
     """Derive a variant of ``config`` from CLI-style overrides.
 
@@ -417,6 +457,10 @@ def apply_overrides(
         config = config.scaled(scale)
     if num_channels is not None or sf_policy is not None:
         config = config.with_radio(num_channels=num_channels, sf_policy=sf_policy)
+    if mobility is not None or mobility_nodes is not None or trace_file is not None:
+        config = config.with_mobility(
+            model=mobility, num_nodes=mobility_nodes, trace_file=trace_file
+        )
     fields: Dict[str, Any] = {}
     if scheme is not None:
         fields["scheme"] = scheme
@@ -662,6 +706,40 @@ def _multisf_runner(
     )
 
 
+def _mobility_runner(
+    scale: ReproductionScale, executor: Optional[SweepExecutor]
+) -> SweepArtifact:
+    results = run_mobility_sweep(scale, executor=executor)
+    flat = {
+        f"{model}/{scheme}": metrics
+        for (model, scheme), metrics in sorted(results.items())
+    }
+    rows = [
+        {
+            "mobility_model": model,
+            "scheme": scheme,
+            "mean_delay_s": metrics.mean_delay_s,
+            "throughput_messages": metrics.throughput_messages,
+            "delivery_ratio": metrics.delivery_ratio,
+            "mean_hop_count": metrics.mean_hop_count,
+            "mean_messages_sent_per_node": metrics.mean_messages_sent_per_node,
+            "mean_energy_joules": metrics.mean_energy_joules,
+        }
+        for (model, scheme), metrics in sorted(results.items())
+    ]
+    return SweepArtifact(
+        name="mobility",
+        text=format_metric_comparison(
+            "Mobility sweep — trace model × scheme, bus-network contact "
+            "structure vs synthetic mobility",
+            flat,
+            _ABLATION_METRICS,
+        ),
+        rows=rows,
+        raw=results,
+    )
+
+
 def _placement_runner(
     scale: ReproductionScale, executor: Optional[SweepExecutor]
 ) -> SweepArtifact:
@@ -756,6 +834,15 @@ register_sweep(SweepPreset(
     runner=_placement_runner,
 ))
 register_sweep(SweepPreset(
+    name="mobility",
+    description=(
+        "Mobility model (london-bus / random-waypoint / grid-manhattan) × "
+        "scheme — how much of each scheme's gain the bus-network contact "
+        "structure is responsible for."
+    ),
+    runner=_mobility_runner,
+))
+register_sweep(SweepPreset(
     name="multisf",
     description=(
         "Uplink channels (1/3/8) × scheme under distance-based spreading "
@@ -802,6 +889,13 @@ def _radio_label(config: ScenarioConfig) -> str:
     return f"{radio.num_channels} ch, {radio.sf_policy}"
 
 
+def _mobility_label(config: ScenarioConfig) -> str:
+    mobility = config.mobility
+    if mobility.num_nodes > 0:
+        return f"{mobility.model} ({mobility.num_nodes} nodes)"
+    return mobility.model
+
+
 def render_scenarios_markdown() -> str:
     """The full text of ``docs/scenarios.md``, generated from the registries.
 
@@ -820,12 +914,12 @@ def render_scenarios_markdown() -> str:
         "to a shareable file with `repro export <name> out.toml`, and derive",
         "variants with the override flags (`--scheme`, `--gateways`, `--scale`,",
         "`--device-class`, `--range`, `--routes`, `--channels`, `--sf-policy`,",
-        "`--seed`, …).",
+        "`--mobility`, `--trace-file`, `--seed`, …).",
         "",
         "## Scenario presets",
         "",
-        "| preset | scheme | gateways | D2D range | area | duration | radio | reproduces |",
-        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        "| preset | scheme | gateways | D2D range | area | duration | radio | mobility | reproduces |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- | --- |",
     ]
     for preset in iter_presets():
         cfg = preset.config
@@ -833,6 +927,7 @@ def render_scenarios_markdown() -> str:
             f"| `{preset.name}` | {cfg.scheme} | {cfg.num_gateways} "
             f"| {cfg.device_range_m:g} m | {cfg.area_km2:g} km² "
             f"| {_hours(cfg.duration_s)} | {_radio_label(cfg)} "
+            f"| {_mobility_label(cfg)} "
             f"| {preset.figure or '—'} |"
         )
     lines.append("")
@@ -850,6 +945,7 @@ def render_scenarios_markdown() -> str:
             f"seed: {cfg.seed}",
             f"- radio: {cfg.radio.num_channels} channel(s), "
             f"`{cfg.radio.sf_policy}` SF policy",
+            f"- mobility: `{cfg.mobility.model}`",
             "",
         ])
     lines.extend([

@@ -1,8 +1,10 @@
 """Scenario construction: from a :class:`ScenarioConfig` to simulation objects.
 
-Builds the bus network (mobility traces), one :class:`EndDevice` per bus, the
-gateway deployment (uniform grid as in the paper, or uniform-random for the
-placement ablation), and the time-varying topology they all live in.
+Builds the mobility traces (through the pluggable model registry of
+:mod:`repro.mobility.models`; the paper's synthetic London bus network by
+default), one :class:`EndDevice` per mobile node, the gateway deployment
+(uniform grid as in the paper, or uniform-random for the placement ablation),
+and the time-varying topology they all live in.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from repro.mac.device_classes import (
 )
 from repro.mac.gateway import Gateway
 from repro.mobility.geometry import BoundingBox, Point, grid_positions
-from repro.mobility.london import LondonBusNetworkGenerator
+from repro.mobility.models import build_mobility
 from repro.mobility.trace import MobilityTrace
 from repro.network.node import DeviceNode, SinkNode
 from repro.network.topology import TimeVaryingTopology, TopologyConfig
@@ -95,22 +97,13 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
     """Construct mobility, devices, gateways and topology for ``config``."""
     streams = RandomStreams(config.seed)
 
-    # Mobility: synthetic London bus network.
-    mobility_config = config.mobility_config()
-    generator = LondonBusNetworkGenerator(mobility_config, streams.stream("mobility"))
-    timetable = generator.generate()
-    box = generator.bounding_box
-
-    traces: Dict[str, MobilityTrace] = {}
-    device_nodes: List[DeviceNode] = []
-    for index, trip in enumerate(timetable.trips):
-        device_id = f"bus-{index:04d}"
-        trace = MobilityTrace(
-            points=_trip_trace_points(trip),
-            node_id=device_id,
-        )
-        traces[device_id] = trace
-        device_nodes.append(DeviceNode(device_id, trace))
+    # Mobility: whichever model the scenario names (london-bus by default).
+    mobility_build = build_mobility(config.mobility_spec(), streams.stream("mobility"))
+    box = mobility_build.bounding_box
+    traces: Dict[str, MobilityTrace] = mobility_build.traces
+    device_nodes: List[DeviceNode] = [
+        DeviceNode(device_id, trace) for device_id, trace in traces.items()
+    ]
 
     # Gateways.
     gateway_rng = streams.stream("gateway-placement")
@@ -187,10 +180,3 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         capacity_model=capacity_model,
         radio_assignments=radio_assignments,
     )
-
-
-def _trip_trace_points(trip):
-    """Build the trace points of one trip (thin wrapper kept for patching in tests)."""
-    from repro.mobility.route import build_trip_trace
-
-    return build_trip_trace(trip).points

@@ -28,10 +28,11 @@ except ImportError:  # pragma: no cover - older interpreters
 
 from repro.experiments.config import ScenarioConfig
 from repro.mac.device import DeviceConfig
+from repro.mobility.config import MobilityConfig
 from repro.radio.config import RadioConfig
 
 #: Nested dataclass tables inside a scenario mapping.
-_NESTED_TABLES = {"device": DeviceConfig, "radio": RadioConfig}
+_NESTED_TABLES = {"device": DeviceConfig, "radio": RadioConfig, "mobility": MobilityConfig}
 
 #: Bump when the serialized field layout changes incompatibly.
 SCENARIO_SCHEMA_VERSION = 1

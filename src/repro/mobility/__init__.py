@@ -5,17 +5,32 @@ timetables.  This package replaces that pipeline with: plane geometry
 (:mod:`repro.mobility.geometry`), bus routes with per-trip timetables
 (:mod:`repro.mobility.route`), piecewise-linear position traces
 (:mod:`repro.mobility.trace`), a synthetic London-like bus-network generator
-calibrated to Fig. 7 of the paper (:mod:`repro.mobility.london`) and simple
-mobility models used by unit tests (:mod:`repro.mobility.generators`).
+calibrated to Fig. 7 of the paper (:mod:`repro.mobility.london`), simple
+mobility generators used by unit tests (:mod:`repro.mobility.generators`) and
+the pluggable model registry the experiment layer builds traces through
+(:mod:`repro.mobility.config`, :mod:`repro.mobility.models`).
 """
 
+from repro.mobility.config import MOBILITY_MODELS, MobilityConfig
 from repro.mobility.geometry import BoundingBox, Point, grid_positions
 from repro.mobility.generators import RandomWaypointMobility, StaticMobility
 from repro.mobility.london import LondonBusNetworkConfig, LondonBusNetworkGenerator
+from repro.mobility.models import (
+    MobilityBuild,
+    MobilityModel,
+    MobilitySpec,
+    build_mobility,
+    load_traces_csv,
+    make_mobility_model,
+    mobility_model_names,
+    save_traces_csv,
+)
 from repro.mobility.route import BusRoute, Trip, build_trip_trace
 from repro.mobility.trace import MobilityTrace, TracePoint
 
 __all__ = [
+    "MOBILITY_MODELS",
+    "MobilityConfig",
     "BoundingBox",
     "Point",
     "grid_positions",
@@ -23,6 +38,14 @@ __all__ = [
     "StaticMobility",
     "LondonBusNetworkConfig",
     "LondonBusNetworkGenerator",
+    "MobilityBuild",
+    "MobilityModel",
+    "MobilitySpec",
+    "build_mobility",
+    "load_traces_csv",
+    "make_mobility_model",
+    "mobility_model_names",
+    "save_traces_csv",
     "BusRoute",
     "Trip",
     "build_trip_trace",

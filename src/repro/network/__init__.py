@@ -7,15 +7,27 @@ RSSI→capacity mapping, and utilities to extract contact intervals from
 mobility traces for analysis and testing.
 """
 
-from repro.network.contact import ContactInterval, extract_contacts, extract_sink_contacts
+from repro.network.contact import (
+    ContactInterval,
+    extract_contact_graph,
+    extract_contacts,
+    extract_contacts_scalar,
+    extract_sink_contacts,
+    extract_sink_contacts_scalar,
+    sample_times,
+)
 from repro.network.node import DeviceNode, Node, NodeKind, SinkNode
 from repro.network.spatial import UniformGridIndex
 from repro.network.topology import LinkState, TimeVaryingTopology, TopologyConfig
 
 __all__ = [
     "ContactInterval",
+    "extract_contact_graph",
     "extract_contacts",
+    "extract_contacts_scalar",
     "extract_sink_contacts",
+    "extract_sink_contacts_scalar",
+    "sample_times",
     "DeviceNode",
     "Node",
     "NodeKind",

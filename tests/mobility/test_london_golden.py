@@ -1,0 +1,91 @@
+"""Golden-fingerprint regression tests for the London bus-network generator.
+
+The digests below were recorded from the pre-mobility-refactor generator
+(commit e648f22, where ``experiments/scenario.py`` generated traces inline).
+Any mobility refactor must keep reproducing them bit-for-bit, the way
+``tests/experiments/test_radio_equivalence.py`` pins the radio engine.  If a
+legitimate behaviour change ever invalidates them, regenerate the digests
+*and* bump ``repro.experiments.parallel.CACHE_SCHEMA_VERSION`` in the same
+commit.
+"""
+
+import hashlib
+import json
+
+from repro.mobility.london import LondonBusNetworkConfig, LondonBusNetworkGenerator
+from repro.sim.randomness import RandomStreams
+
+
+def timetable_digest(timetable) -> str:
+    """A SHA-256 over every trip of a timetable, full float precision."""
+    payload = [
+        {
+            "trip_id": trip.trip_id,
+            "route_id": trip.route.route_id,
+            "round_trip": trip.route.round_trip,
+            "stops": [(repr(p.x), repr(p.y)) for p in trip.route.stops],
+            "start_time": repr(trip.start_time),
+            "speed_mps": repr(trip.speed_mps),
+            "dwell_time_s": repr(trip.dwell_time_s),
+            "repeats": trip.repeats,
+        }
+        for trip in timetable.trips
+    ]
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+#: The small config the SMALL equivalence scenario implies (1800 s horizon
+#: compresses the diurnal window by 1800/86400).
+SMALL_NETWORK = LondonBusNetworkConfig(
+    area_km2=20.0,
+    num_routes=4,
+    trips_per_route=2,
+    stops_per_route=5,
+    min_repeats=1,
+    max_repeats=2,
+    day_start_s=5.5 * 3600.0 * 1800.0 / 86400.0,
+    day_end_s=22.0 * 3600.0 * 1800.0 / 86400.0,
+    horizon_s=1800.0,
+)
+
+GOLDEN_TIMETABLE_DIGESTS = {
+    "default-seed11": "2af939718b212938f3bd1e59d0b40dc546334acf3b408d3c9724221b94001591",
+    "small-seed11": "0a8be03b4a8da6573856f18f28ee330ea6f75bf85b54fce8f43413e5ea1a50ff",
+}
+
+
+class TestGoldenTimetables:
+    def test_default_config_timetable_is_bit_identical(self):
+        generator = LondonBusNetworkGenerator(
+            LondonBusNetworkConfig(), RandomStreams(11).stream("mobility")
+        )
+        assert (
+            timetable_digest(generator.generate())
+            == GOLDEN_TIMETABLE_DIGESTS["default-seed11"]
+        ), (
+            "the seeded London timetable diverged from the pre-refactor "
+            "generator; if intentional, regenerate the goldens and bump "
+            "CACHE_SCHEMA_VERSION"
+        )
+
+    def test_small_config_timetable_is_bit_identical(self):
+        generator = LondonBusNetworkGenerator(
+            SMALL_NETWORK, RandomStreams(11).stream("mobility")
+        )
+        assert (
+            timetable_digest(generator.generate())
+            == GOLDEN_TIMETABLE_DIGESTS["small-seed11"]
+        )
+
+    def test_generation_is_seed_deterministic(self):
+        first = LondonBusNetworkGenerator(
+            SMALL_NETWORK, RandomStreams(23).stream("mobility")
+        ).generate()
+        second = LondonBusNetworkGenerator(
+            SMALL_NETWORK, RandomStreams(23).stream("mobility")
+        ).generate()
+        assert timetable_digest(first) == timetable_digest(second)
+        different = LondonBusNetworkGenerator(
+            SMALL_NETWORK, RandomStreams(24).stream("mobility")
+        ).generate()
+        assert timetable_digest(different) != timetable_digest(first)

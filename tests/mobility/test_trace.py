@@ -1,5 +1,6 @@
 """Unit tests for mobility traces."""
 
+import numpy as np
 import pytest
 
 from repro.mobility.geometry import Point
@@ -70,6 +71,76 @@ class TestMobilityTrace:
     def test_static_trace_invalid_window_rejected(self):
         with pytest.raises(ValueError):
             MobilityTrace.static(Point(0, 0), start=10.0, end=5.0)
+
+
+class TestPositionsAt:
+    def _trace(self):
+        return MobilityTrace(
+            [
+                TracePoint(10.0, Point(0, 0)),
+                TracePoint(110.0, Point(100, 0)),
+                TracePoint(210.0, Point(100, 100)),
+            ],
+            node_id="bus",
+        )
+
+    def test_matches_scalar_queries_including_boundaries(self):
+        trace = self._trace()
+        times = [9.999, 10.0, 10.001, 60.0, 110.0, 160.0, 209.999, 210.0, 210.001]
+        batch = trace.positions_at(times)
+        for time, row in zip(times, batch):
+            scalar = trace.position_at(time)
+            if scalar is None:
+                assert np.isnan(row).all()
+            else:
+                assert (scalar.x, scalar.y) == (row[0], row[1])
+
+    def test_inactive_rows_are_nan(self):
+        trace = self._trace()
+        batch = trace.positions_at([0.0, 9.0, 211.0, 1e6])
+        assert np.isnan(batch).all()
+        assert batch.shape == (4, 2)
+
+    def test_single_point_trace(self):
+        trace = MobilityTrace([TracePoint(5.0, Point(3, 4))])
+        batch = trace.positions_at([4.0, 5.0, 6.0])
+        assert np.isnan(batch[0]).all()
+        assert tuple(batch[1]) == (3.0, 4.0)
+        assert np.isnan(batch[2]).all()
+
+    def test_open_ended_static_trace(self):
+        trace = MobilityTrace.static(Point(7, -2), start=10.0)
+        batch = trace.positions_at([0.0, 10.0, 1e9])
+        assert np.isnan(batch[0]).all()
+        assert tuple(batch[1]) == (7.0, -2.0)
+        assert tuple(batch[2]) == (7.0, -2.0)
+
+    def test_empty_query_gives_empty_result(self):
+        assert self._trace().positions_at([]).shape == (0, 2)
+
+    def test_rejects_multidimensional_queries(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            self._trace().positions_at(np.zeros((2, 2)))
+
+    def test_points_in_span_bisects_inclusive_boundaries(self):
+        trace = self._trace()
+        assert [p.time for p in trace.points_in_span(10.0, 210.0)] == [10.0, 110.0, 210.0]
+        assert [p.time for p in trace.points_in_span(10.001, 110.0)] == [110.0]
+        assert trace.points_in_span(111.0, 112.0) == []
+        assert trace.points_in_span(300.0, 400.0) == []
+
+    def test_interpolation_holds_position_through_dwell(self):
+        # Two samples at the same place (a dwell) keep the node stationary.
+        trace = MobilityTrace(
+            [
+                TracePoint(0.0, Point(0, 0)),
+                TracePoint(10.0, Point(10, 0)),
+                TracePoint(20.0, Point(10, 0)),
+                TracePoint(30.0, Point(20, 0)),
+            ]
+        )
+        batch = trace.positions_at([12.0, 15.0, 20.0])
+        assert [tuple(row) for row in batch] == [(10.0, 0.0)] * 3
 
 
 class TestActiveCount:

@@ -6,9 +6,11 @@ from repro.mobility.geometry import Point
 from repro.mobility.trace import MobilityTrace, TracePoint
 from repro.network.contact import (
     ContactInterval,
+    extract_contact_graph,
     extract_contacts,
     extract_sink_contacts,
     inter_contact_times,
+    sample_times,
     total_contact_time,
 )
 
@@ -60,6 +62,47 @@ class TestExtractContacts:
         b = MobilityTrace.static(Point(1, 0), end=10.0)
         with pytest.raises(ValueError):
             extract_contacts(a, b, range_m=0.0)
+        with pytest.raises(ValueError):
+            extract_contacts(a, b, range_m=100.0, step_s=0.0)
+
+    def test_single_sample_contact_is_a_zero_duration_point_contact(self):
+        # The mover is within 50 m of the static node only at the t=20 sample:
+        # the contact is real but the grid cannot resolve its width, so it is
+        # reported as a zero-duration interval (documented behaviour).
+        mover = MobilityTrace(
+            [
+                TracePoint(0.0, Point(1000, 0)),
+                TracePoint(20.0, Point(0, 0)),
+                TracePoint(40.0, Point(1000, 0)),
+            ],
+            node_id="m",
+        )
+        static = MobilityTrace.static(Point(0, 0), start=0.0, end=40.0, node_id="s")
+        contacts = extract_contacts(mover, static, range_m=50.0, step_s=20.0)
+        assert contacts == [ContactInterval("m", "s", 20.0, 20.0)]
+        assert contacts[0].duration == 0.0
+        assert total_contact_time(contacts) == 0.0
+
+    def test_open_ended_traces_cannot_be_grid_sampled(self):
+        a = MobilityTrace.static(Point(0, 0))  # no end: active forever
+        b = MobilityTrace.static(Point(1, 0))
+        with pytest.raises(ValueError, match="open-ended"):
+            extract_contacts(a, b, range_m=100.0)
+
+
+class TestSampleTimes:
+    def test_grid_is_index_based_not_accumulated(self):
+        times = sample_times(0.0, 100.0, 10.0)
+        assert list(times) == [10.0 * k for k in range(11)]
+
+    def test_endpoint_within_tolerance_is_kept(self):
+        # 0.1 * 3 overshoots 0.30000000000000004 > 0.3; the relative
+        # one-part-per-billion-of-a-step tolerance keeps the final sample.
+        assert len(sample_times(0.0, 0.3, 0.1)) == 4
+
+    def test_empty_when_interval_is_empty(self):
+        assert sample_times(5.0, 5.0, 1.0).size == 0
+        assert sample_times(5.0, 4.0, 1.0).size == 0
 
 
 class TestExtractSinkContacts:
@@ -73,6 +116,61 @@ class TestExtractSinkContacts:
         mover = _linear_trace("m", (0, 0), (100, 0), duration=100.0)
         assert extract_sink_contacts(mover, [], range_m=100.0) == []
 
+    def test_overlapping_sink_coverage_unions_into_one_interval(self):
+        # Two gateways whose coverage discs overlap along the path: the
+        # device is never out of contact with the sink *set*, so the two
+        # per-gateway contacts merge into a single (x, S) interval.
+        mover = _linear_trace("m", (0, 0), (2000, 0), duration=2000.0)
+        sinks = [Point(500, 0), Point(1200, 0)]
+        contacts = extract_sink_contacts(mover, sinks, range_m=400.0, step_s=10.0)
+        assert len(contacts) == 1
+        assert contacts[0].start == pytest.approx(100.0, abs=10.0)
+        assert contacts[0].end == pytest.approx(1600.0, abs=10.0)
+
+    def test_disjoint_sink_coverage_stays_separate(self):
+        mover = _linear_trace("m", (0, 0), (4000, 0), duration=4000.0)
+        sinks = [Point(500, 0), Point(3500, 0)]
+        contacts = extract_sink_contacts(mover, sinks, range_m=300.0, step_s=10.0)
+        assert len(contacts) == 2
+        assert contacts[0].end < contacts[1].start
+
+    def test_sink_contact_naming(self):
+        mover = _linear_trace("m", (0, 0), (10, 0), duration=100.0)
+        contacts = extract_sink_contacts(mover, [Point(0, 0)], range_m=100.0)
+        assert contacts[0].node_a == "m"
+        assert contacts[0].node_b == "sinks"
+
+
+class TestContactGraph:
+    def test_matches_all_pairs_extraction(self):
+        traces = [
+            MobilityTrace.static(Point(0, 0), start=0.0, end=300.0, node_id="a"),
+            _linear_trace("b", (-500, 0), (500, 0), duration=300.0),
+            MobilityTrace.static(Point(5000, 5000), start=0.0, end=300.0, node_id="c"),
+        ]
+        brute = [
+            interval
+            for i, first in enumerate(traces)
+            for second in traces[i + 1:]
+            for interval in extract_contacts(first, second, 200.0, 10.0)
+        ]
+        assert extract_contact_graph(traces, 200.0, 10.0) == brute
+        # The far-away node really was prunable: only the (a, b) pair meets.
+        assert {(c.node_a, c.node_b) for c in brute} == {("a", "b")}
+
+    def test_fewer_than_two_traces_is_empty(self):
+        trace = MobilityTrace.static(Point(0, 0), start=0.0, end=10.0)
+        assert extract_contact_graph([], 100.0) == []
+        assert extract_contact_graph([trace], 100.0) == []
+
+    def test_open_ended_traces_rejected(self):
+        traces = [
+            MobilityTrace.static(Point(0, 0)),
+            MobilityTrace.static(Point(1, 0)),
+        ]
+        with pytest.raises(ValueError, match="bounded"):
+            extract_contact_graph(traces, 100.0)
+
 
 class TestAggregates:
     def test_total_contact_time(self):
@@ -83,3 +181,17 @@ class TestAggregates:
         contacts = [ContactInterval("a", "b", 0, 10), ContactInterval("a", "b", 30, 40),
                     ContactInterval("a", "b", 100, 110)]
         assert inter_contact_times(contacts) == [20.0, 60.0]
+
+    def test_inter_contact_times_touching_intervals_gap_is_zero(self):
+        contacts = [ContactInterval("a", "b", 0, 10), ContactInterval("a", "b", 10, 20)]
+        assert inter_contact_times(contacts) == [0.0]
+
+    def test_inter_contact_times_skips_overlapping_pairs(self):
+        # Overlaps happen when aggregating contacts of different node pairs;
+        # they contribute no (negative) gap — documented behaviour.
+        contacts = [
+            ContactInterval("a", "b", 0, 10),
+            ContactInterval("a", "c", 5, 20),
+            ContactInterval("a", "b", 30, 40),
+        ]
+        assert inter_contact_times(contacts) == [10.0]

@@ -1,0 +1,127 @@
+"""Property tests: the vectorized contact pipeline vs the scalar oracle.
+
+The vectorized extractors promise *identical* output to the brute-force
+scalar scan — same grids, same interpolation arithmetic, same merge — so the
+properties below are exact-equality checks on random traces, not
+approximate ones.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.geometry import Point
+from repro.mobility.trace import MobilityTrace, TracePoint
+from repro.network.contact import (
+    extract_contact_graph,
+    extract_contacts,
+    extract_contacts_scalar,
+    extract_sink_contacts,
+    extract_sink_contacts_scalar,
+)
+
+coordinates = st.floats(
+    min_value=-1500.0, max_value=1500.0, allow_nan=False, allow_infinity=False
+)
+sample_steps = st.sampled_from([1.0, 2.5, 7.0, 10.0, 33.0])
+ranges_m = st.floats(min_value=1.0, max_value=2500.0, allow_nan=False)
+
+
+@st.composite
+def traces(draw, node_id="t"):
+    """A random piecewise-linear trace with 1–8 unique-time samples."""
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    points = [
+        TracePoint(time, Point(draw(coordinates), draw(coordinates)))
+        for time in sorted(times)
+    ]
+    return MobilityTrace(points, node_id=node_id)
+
+
+@given(trace=traces(), step=sample_steps)
+@settings(max_examples=150, deadline=None)
+def test_positions_at_matches_position_at_everywhere(trace, step):
+    """Batched sampling equals the scalar query bit-for-bit, incl. boundaries."""
+    probes = np.concatenate([
+        np.arange(-step, trace.end_time + 2 * step, step),
+        np.asarray([trace.start_time, trace.end_time]),
+        np.asarray([p.time for p in trace.points]),
+    ])
+    batch = trace.positions_at(probes)
+    for time, row in zip(probes, batch):
+        scalar = trace.position_at(float(time))
+        if scalar is None:
+            assert np.isnan(row).all()
+        else:
+            assert scalar.x == row[0] and scalar.y == row[1]
+
+
+@given(trace_a=traces("a"), trace_b=traces("b"), step=sample_steps, range_m=ranges_m)
+@settings(max_examples=200, deadline=None)
+def test_vectorized_equals_scalar_oracle(trace_a, trace_b, step, range_m):
+    assert extract_contacts(trace_a, trace_b, range_m, step) == extract_contacts_scalar(
+        trace_a, trace_b, range_m, step
+    )
+
+
+@given(trace_a=traces("a"), trace_b=traces("b"), step=sample_steps, range_m=ranges_m)
+@settings(max_examples=150, deadline=None)
+def test_intervals_sorted_disjoint_and_bounded(trace_a, trace_b, step, range_m):
+    contacts = extract_contacts(trace_a, trace_b, range_m, step)
+    overlap_start = max(trace_a.start_time, trace_b.start_time)
+    overlap_end = min(trace_a.end_time, trace_b.end_time)
+    for contact in contacts:
+        assert contact.duration >= 0.0
+        assert contact.start >= overlap_start
+        assert contact.end <= overlap_end + 1e-6
+    for earlier, later in zip(contacts, contacts[1:]):
+        # Separated by at least one out-of-range sample, never just touching.
+        assert later.start > earlier.end
+
+
+@given(trace_a=traces("a"), trace_b=traces("b"), step=sample_steps, range_m=ranges_m)
+@settings(max_examples=150, deadline=None)
+def test_symmetric_under_trace_swap(trace_a, trace_b, step, range_m):
+    forward = extract_contacts(trace_a, trace_b, range_m, step)
+    backward = extract_contacts(trace_b, trace_a, range_m, step)
+    assert [(c.start, c.end) for c in forward] == [(c.start, c.end) for c in backward]
+
+
+@given(
+    trace=traces("mover"),
+    sinks=st.lists(
+        st.builds(Point, coordinates, coordinates), min_size=0, max_size=4
+    ),
+    step=sample_steps,
+    range_m=ranges_m,
+)
+@settings(max_examples=150, deadline=None)
+def test_sink_contacts_match_scalar_oracle(trace, sinks, step, range_m):
+    assert extract_sink_contacts(trace, sinks, range_m, step) == (
+        extract_sink_contacts_scalar(trace, sinks, range_m, step)
+    )
+
+
+@given(
+    trace_list=st.lists(traces(), min_size=2, max_size=5),
+    step=sample_steps,
+    range_m=ranges_m,
+)
+@settings(max_examples=75, deadline=None)
+def test_contact_graph_equals_all_pairs_brute_force(trace_list, step, range_m):
+    for index, trace in enumerate(trace_list):
+        trace.node_id = f"n{index}"
+    brute = [
+        interval
+        for i, first in enumerate(trace_list)
+        for second in trace_list[i + 1:]
+        for interval in extract_contacts(first, second, range_m, step)
+    ]
+    assert extract_contact_graph(trace_list, range_m, step) == brute
