@@ -3,7 +3,6 @@
 from benchmarks.conftest import SWEEP_SCALE
 from repro.experiments.figures import figure09_throughput
 from repro.experiments.reporting import format_figure_rows
-from repro.experiments.sweeps import RURAL_DEVICE_RANGE_M
 
 
 def test_bench_fig09_throughput(benchmark, density_sweep):

@@ -1,6 +1,5 @@
 """Fig. 12 — average number of hops per delivered message."""
 
-from benchmarks.conftest import SWEEP_SCALE
 from repro.experiments.figures import figure12_hops
 from repro.experiments.reporting import format_figure_rows
 

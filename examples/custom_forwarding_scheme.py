@@ -5,22 +5,27 @@ experiment with your own handover policies without touching the engine.  This
 example implements a simple "forward only to nearly-idle, recently-connected
 neighbours" policy and compares it against ROBC on the same scenario.
 
-A scheme object built here cannot be named in a scenario file or registry
-preset (those resolve scheme *names* via ``repro.routing.SCHEME_REGISTRY``),
-which is why this example hand-builds its ``ScenarioConfig`` instead of
-starting from a preset.
+Two integration points exist:
+
+* swap a hand-built scheme *object* onto a built scenario (shown in
+  ``run_with_scheme`` below), or
+* register a *factory* with ``repro.routing.register_scheme_factory`` so the
+  scheme name becomes valid in any ``ScenarioConfig`` — scenario files,
+  sweeps and the executor cache then treat it like a built-in (shown in
+  ``main``).
 
 Usage::
 
     PYTHONPATH=src python examples/custom_forwarding_scheme.py
 """
 
-from repro.experiments import ScenarioConfig
+from repro.experiments import ScenarioConfig, run_scenario
 from repro.experiments.runner import MLoRaSimulation
 from repro.experiments.scenario import build_scenario
 from repro.mac.device import EndDevice
 from repro.mac.frames import UplinkPacket
 from repro.phy.link import LinkCapacityModel
+from repro.routing import register_scheme_factory
 from repro.routing.base import ForwardingDecision, ForwardingScheme
 
 
@@ -85,12 +90,26 @@ def main() -> None:
     robc_metrics, robc_handovers = run_with_scheme(base, build_scenario(base).scheme)
     custom_metrics, custom_handovers = run_with_scheme(base, ConservativeHandover())
 
+    # The registry route: once a factory is registered, the name works
+    # everywhere a built-in scheme name does (the max_handover_messages knob
+    # of the scenario's RoutingConfig caps the custom handovers too).
+    register_scheme_factory(
+        "conservative",
+        lambda routing: ConservativeHandover(
+            max_neighbour_queue=min(6, routing.max_handover_messages)
+        ),
+    )
+    registered_metrics = run_scenario(base.with_scheme("conservative"))
+
     print("ROBC:")
     print(f"  delivered={robc_metrics.messages_delivered}"
           f"  mean delay={robc_metrics.mean_delay_s:.1f}s  handovers={robc_handovers}")
     print("Conservative custom scheme:")
     print(f"  delivered={custom_metrics.messages_delivered}"
           f"  mean delay={custom_metrics.mean_delay_s:.1f}s  handovers={custom_handovers}")
+    print("Conservative via registered factory:")
+    print(f"  delivered={registered_metrics.messages_delivered}"
+          f"  mean delay={registered_metrics.mean_delay_s:.1f}s")
 
 
 if __name__ == "__main__":

@@ -23,6 +23,15 @@ class RunMetrics:
     duration_s: float
     messages_generated: int
     messages_delivered: int
+    #: Messages lost to buffer capacity (rejected pushes under tail-drop
+    #: policies, evictions under drop-oldest/priority-age), summed over
+    #: every device queue.
+    messages_dropped_full: int = 0
+    #: Pushes refused because the message id was already queued — handover
+    #: deduplication, not loss (the data is still carried elsewhere).
+    messages_rejected_duplicate: int = 0
+    #: Messages removed by TTL expiry (the ``ttl-expiry`` buffer policy).
+    messages_expired_ttl: int = 0
     delays_s: List[float] = field(default_factory=list)
     hop_counts: List[int] = field(default_factory=list)
     delivery_times_s: List[float] = field(default_factory=list)
@@ -101,6 +110,9 @@ def compute_run_metrics(
         duration_s=duration_s,
         messages_generated=sum(d.stats.messages_generated for d in devices),
         messages_delivered=server.delivered_count,
+        messages_dropped_full=sum(d.queue.dropped_full for d in devices),
+        messages_rejected_duplicate=sum(d.queue.rejected_duplicate for d in devices),
+        messages_expired_ttl=sum(d.queue.expired_ttl for d in devices),
         delays_s=[record.end_to_end_delay for record in deliveries],
         hop_counts=[record.delivery_hop_count for record in deliveries],
         delivery_times_s=[record.delivered_at for record in deliveries],

@@ -57,7 +57,8 @@ from repro.experiments.serialization import (
 )
 from repro.mobility.config import MOBILITY_MODELS
 from repro.radio.config import SF_POLICIES
-from repro.routing import SCHEME_REGISTRY, make_scheme
+from repro.routing import build_scheme, scheme_names
+from repro.routing.config import BUFFER_POLICIES, RoutingConfig
 
 #: Default location of the generated scenario catalogue, relative to CWD.
 SCENARIOS_DOC_PATH = Path("docs") / "scenarios.md"
@@ -103,10 +104,11 @@ def run_target(
         config = apply_overrides(config, **overrides)
     except ValueError as exc:
         raise CLIError(f"invalid override: {exc}") from exc
-    # Fail on a typo'd scheme / device class here, not mid-build inside a
-    # worker process (overrides and hand-edited scenario files both reach this).
+    # Fail on a typo'd scheme / device class / routing parameter here, not
+    # mid-build inside a worker process (overrides and hand-edited scenario
+    # files both reach this).
     try:
-        make_scheme(config.scheme)
+        build_scheme(config.scheme, config.routing)
         make_device_class(config.device_class)
     except ValueError as exc:
         raise CLIError(str(exc)) from exc
@@ -149,6 +151,7 @@ def list_payload() -> dict:
                 "num_channels": preset.config.radio.num_channels,
                 "sf_policy": preset.config.radio.sf_policy,
                 "mobility_model": preset.config.mobility.model,
+                "buffer_policy": preset.config.routing.buffer.policy,
                 "figure": preset.figure,
                 "tags": list(preset.tags),
                 "description": preset.description,
@@ -220,6 +223,45 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_scheme_params(items: Optional[Sequence[str]]) -> Optional[dict]:
+    """``--scheme-param key=value`` pairs as a typed RoutingConfig kwargs dict.
+
+    Values are coerced to the named field's annotated type (int fields reject
+    non-integers, float fields promote integers) so that a CLI override and
+    the equivalent Python :class:`RoutingConfig` produce the same digest.
+    """
+    if not items:
+        return None
+    import dataclasses
+
+    field_types = {
+        field.name: field.type
+        for field in dataclasses.fields(RoutingConfig)
+        if field.name != "buffer"
+    }
+    params: dict = {}
+    for item in items:
+        key, separator, raw = item.partition("=")
+        key = key.strip().replace("-", "_")
+        if not separator or not key:
+            raise CLIError(
+                f"--scheme-param expects key=value, got {item!r}"
+            )
+        if key not in field_types:
+            raise CLIError(
+                f"unknown scheme parameter {key!r}; available: {sorted(field_types)}"
+            )
+        kind = field_types[key]
+        try:
+            params[key] = int(raw) if kind == "int" else float(raw)
+        except ValueError:
+            raise CLIError(
+                f"--scheme-param {key} expects {'an integer' if kind == 'int' else 'a number'}, "
+                f"got {raw!r}"
+            ) from None
+    return params
+
+
 def _overrides_from(args: argparse.Namespace) -> dict:
     return {
         "scale": args.scale,
@@ -237,6 +279,10 @@ def _overrides_from(args: argparse.Namespace) -> dict:
         "mobility": args.mobility,
         "mobility_nodes": args.mobility_nodes,
         "trace_file": args.trace_file,
+        "scheme_params": parse_scheme_params(args.scheme_params),
+        "buffer": args.buffer,
+        "buffer_capacity": args.buffer_capacity,
+        "buffer_ttl_s": args.buffer_ttl,
     }
 
 
@@ -358,7 +404,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=None,
                      help="density-preserving spatial shrink factor in (0, 1]")
     run.add_argument("--scheme", default=None,
-                     help=f"forwarding scheme ({', '.join(sorted(SCHEME_REGISTRY))})")
+                     help=f"forwarding scheme ({', '.join(scheme_names())})")
+    run.add_argument("--scheme-param", action="append", default=None,
+                     dest="scheme_params", metavar="KEY=VALUE",
+                     help="routing parameter override, repeatable (e.g. "
+                          "max_handover_messages=6, spray_initial_copies=8, "
+                          "prophet_beta=0.5)")
+    run.add_argument("--buffer", default=None, choices=BUFFER_POLICIES,
+                     help="buffer-management policy (default drop-new)")
+    run.add_argument("--buffer-capacity", type=int, default=None,
+                     dest="buffer_capacity", metavar="N",
+                     help="per-device queue capacity in messages "
+                          "(default: the device config's 64)")
+    run.add_argument("--buffer-ttl", type=float, default=None,
+                     dest="buffer_ttl", metavar="SECONDS",
+                     help="message time-to-live for the ttl-expiry policy")
     run.add_argument("--device-class", default=None, dest="device_class",
                      help=f"device class ({', '.join(device_class_names())})")
     run.add_argument("--gateways", type=int, default=None, help="deployed gateway count")

@@ -18,6 +18,7 @@ from repro.mac.device import DeviceConfig
 from repro.mobility.config import MobilityConfig
 from repro.mobility.london import DAY_SECONDS, LondonBusNetworkConfig
 from repro.radio.config import RadioConfig
+from repro.routing.config import RoutingConfig
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,10 @@ class ScenarioConfig:
 
     # Forwarding scheme and device class
     scheme: str = "no-routing"
+    #: Parameters of the named scheme plus the buffer-management section; the
+    #: default is the paper's hardcoded setting (12-message handovers, FIFO
+    #: tail-drop buffer) and is bit-compatible with the pre-routing engine.
+    routing: RoutingConfig = field(default_factory=RoutingConfig)
     device_class: str = "modified-class-c"
 
     def __post_init__(self) -> None:
@@ -111,6 +116,24 @@ class ScenarioConfig:
     def with_scheme(self, scheme: str) -> "ScenarioConfig":
         """A copy of this configuration running a different forwarding scheme."""
         return replace(self, scheme=scheme)
+
+    def with_routing(self, **params) -> "ScenarioConfig":
+        """A copy with different routing parameters (RoutingConfig fields)."""
+        return replace(self, routing=self.routing.with_params(**params))
+
+    def with_buffer(
+        self,
+        policy: Optional[str] = None,
+        capacity: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+    ) -> "ScenarioConfig":
+        """A copy with a different buffer-management policy/capacity/TTL."""
+        return replace(
+            self,
+            routing=self.routing.with_buffer(
+                policy=policy, capacity=capacity, ttl_s=ttl_s
+            ),
+        )
 
     def with_gateways(self, num_gateways: int) -> "ScenarioConfig":
         """A copy with a different gateway count (Fig. 8/9 sweeps)."""

@@ -350,6 +350,47 @@ def run_mobility_sweep(
 
 
 # --------------------------------------------------------------------- #
+# Beyond the paper: routing scheme × buffer-management sweep
+# --------------------------------------------------------------------- #
+def run_routing_sweep(
+    scale: ReproductionScale = BENCHMARK_SCALE,
+    schemes: Sequence[str] = ("robc", "prophet"),
+    buffer_policies: Sequence[str] = ("drop-new", "drop-oldest", "priority-age"),
+    buffer_capacities: Sequence[int] = (8, 64),
+    nominal_gateways: int = 70,
+    executor: Optional[SweepExecutor] = None,
+) -> Dict[Tuple[str, str, int], RunMetrics]:
+    """A (scheme × buffer policy × capacity) grid at the 70-gateway point.
+
+    The paper fixes a 64-message FIFO tail-drop buffer; this sweep opens the
+    buffer-management axis the DTN literature treats as first-class — what to
+    evict under pressure, and how much pressure a small buffer creates —
+    while the new :class:`~repro.analysis.metrics.RunMetrics` counters
+    (``messages_dropped_full`` vs ``messages_rejected_duplicate``) separate
+    real loss from handover deduplication.  Keys are
+    ``(scheme, buffer_policy, capacity)``.
+    """
+    base = scale.base_config()
+    actual_gateways = max(1, round(nominal_gateways * scale.spatial_scale))
+    keys: List[Tuple[str, str, int]] = [
+        (scheme, policy, capacity)
+        for scheme in schemes
+        for policy in buffer_policies
+        for capacity in buffer_capacities
+    ]
+    specs = [
+        RunSpec(
+            config=base.with_scheme(scheme)
+            .with_gateways(actual_gateways)
+            .with_buffer(policy=policy, capacity=capacity)
+        )
+        for scheme, policy, capacity in keys
+    ]
+    executor = executor or SweepExecutor()
+    return dict(zip(keys, executor.run_metrics(specs)))
+
+
+# --------------------------------------------------------------------- #
 # Ablations
 # --------------------------------------------------------------------- #
 def ablation_alpha(

@@ -33,11 +33,14 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
 from repro.mobility.config import MobilityConfig
 from repro.radio.config import RadioConfig
+from repro.routing.config import RoutingConfig
 
-#: The default radio/mobility sections, excluded from digests for cache
-#: stability (configurations that predate each subsystem keep their digests).
+#: The default radio/mobility/routing sections, excluded from digests for
+#: cache stability (configurations that predate each subsystem keep their
+#: digests).
 _DEFAULT_RADIO_DICT = asdict(RadioConfig())
 _DEFAULT_MOBILITY_DICT = asdict(MobilityConfig())
+_DEFAULT_ROUTING_DICT = asdict(RoutingConfig())
 
 #: Derived seeds stay in the positive signed-64-bit range.
 _SEED_SPACE = 2**63
@@ -87,18 +90,22 @@ def _trace_file_content_digest(path: str) -> str:
 def config_digest(config: ScenarioConfig) -> str:
     """A stable hex digest of every field of ``config`` (cache key material).
 
-    The ``radio`` and ``mobility`` sections are omitted while they hold their
-    defaults (one channel fixed SF7; the London bus network) so that every
-    configuration that existed before each subsystem keeps its historical
-    digest — archived sweep caches stay valid and the "same digest → same
-    RunMetrics" equivalence holds across the refactors.  Non-default radio or
-    mobility settings change simulation behaviour and therefore the digest;
-    a ``trace-file`` mobility section additionally digests the trace file's
-    contents, since those *are* the scenario's mobility.
+    The ``radio``, ``mobility`` and ``routing`` sections are omitted while
+    they hold their defaults (one channel fixed SF7; the London bus network;
+    the hardcoded pre-refactor scheme parameters and FIFO tail-drop buffer)
+    so that every configuration that existed before each subsystem keeps its
+    historical digest — archived sweep caches stay valid and the "same
+    digest → same RunMetrics" equivalence holds across the refactors.
+    Non-default radio, mobility or routing settings change simulation
+    behaviour and therefore the digest; a ``trace-file`` mobility section
+    additionally digests the trace file's contents, since those *are* the
+    scenario's mobility.
     """
     payload_dict = asdict(config)
     if payload_dict.get("radio") == _DEFAULT_RADIO_DICT:
         del payload_dict["radio"]
+    if payload_dict.get("routing") == _DEFAULT_ROUTING_DICT:
+        del payload_dict["routing"]
     mobility = payload_dict.get("mobility")
     if mobility == _DEFAULT_MOBILITY_DICT:
         del payload_dict["mobility"]

@@ -46,6 +46,7 @@ from repro.experiments.figures import (
     run_density_sweep,
     run_mobility_sweep,
     run_multisf_sweep,
+    run_routing_sweep,
 )
 from repro.experiments.parallel import SweepExecutor
 from repro.experiments.reporting import (
@@ -58,6 +59,7 @@ from repro.experiments.sweeps import RURAL_DEVICE_RANGE_M, URBAN_DEVICE_RANGE_M
 from repro.mobility.config import MobilityConfig
 from repro.mobility.london import DAY_SECONDS
 from repro.radio.config import RadioConfig
+from repro.routing.config import BufferConfig, RoutingConfig
 
 #: Named execution scales for ``repro sweep --scale <name>``.
 SCALE_PRESETS: Dict[str, ReproductionScale] = {
@@ -389,6 +391,43 @@ register_preset(ScenarioPreset(
 ))
 
 register_preset(ScenarioPreset(
+    name="urban-prophet",
+    description=(
+        "Urban setting under PRoPHET-style delivery-predictability forwarding "
+        "(Lindgren et al.): messages replicate onto neighbours whose history "
+        "of gateway contacts makes them likelier to deliver.  The third DTN "
+        "baseline, between epidemic's unbounded copying and spray-and-wait's "
+        "fixed ticket budget."
+    ),
+    tags=("synthetic", "urban", "dtn"),
+    config=_paper_point(
+        "urban-prophet", spatial_scale=0.10, duration_s=4 * 3600.0,
+        nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        scheme="prophet",
+    ),
+))
+
+register_preset(ScenarioPreset(
+    name="urban-buffer-pressure",
+    description=(
+        "The `urban` preset under severe buffer pressure: an 8-message queue "
+        "(vs the paper's 64) with the drop-oldest eviction policy.  "
+        "Exercises the buffer-management layer — compare "
+        "`messages_dropped_full` vs `messages_rejected_duplicate` against "
+        "the `urban` preset, or sweep the whole axis with `repro sweep "
+        "routing`."
+    ),
+    tags=("synthetic", "urban", "buffer"),
+    config=replace(
+        _paper_point(
+            "urban-buffer-pressure", spatial_scale=0.10, duration_s=4 * 3600.0,
+            nominal_gateways=70, device_range_m=URBAN_DEVICE_RANGE_M,
+        ),
+        routing=RoutingConfig(buffer=BufferConfig(policy="drop-oldest", capacity=8)),
+    ),
+))
+
+register_preset(ScenarioPreset(
     name="quickstart",
     description=(
         "A small friendly first run: 30 km², 4 gateways, 24 buses, 2 simulated "
@@ -446,6 +485,10 @@ def apply_overrides(
     mobility: Optional[str] = None,
     mobility_nodes: Optional[int] = None,
     trace_file: Optional[str] = None,
+    scheme_params: Optional[Mapping[str, Any]] = None,
+    buffer: Optional[str] = None,
+    buffer_capacity: Optional[int] = None,
+    buffer_ttl_s: Optional[float] = None,
 ) -> ScenarioConfig:
     """Derive a variant of ``config`` from CLI-style overrides.
 
@@ -460,6 +503,12 @@ def apply_overrides(
     if mobility is not None or mobility_nodes is not None or trace_file is not None:
         config = config.with_mobility(
             model=mobility, num_nodes=mobility_nodes, trace_file=trace_file
+        )
+    if scheme_params:
+        config = config.with_routing(**dict(scheme_params))
+    if buffer is not None or buffer_capacity is not None or buffer_ttl_s is not None:
+        config = config.with_buffer(
+            policy=buffer, capacity=buffer_capacity, ttl_s=buffer_ttl_s
         )
     fields: Dict[str, Any] = {}
     if scheme is not None:
@@ -740,6 +789,45 @@ def _mobility_runner(
     )
 
 
+def _routing_runner(
+    scale: ReproductionScale, executor: Optional[SweepExecutor]
+) -> SweepArtifact:
+    results = run_routing_sweep(scale, executor=executor)
+    flat = {
+        f"{scheme}/{policy}/cap{capacity}": metrics
+        for (scheme, policy, capacity), metrics in sorted(results.items())
+    }
+    rows = [
+        {
+            "scheme": scheme,
+            "buffer_policy": policy,
+            "buffer_capacity": capacity,
+            "mean_delay_s": metrics.mean_delay_s,
+            "throughput_messages": metrics.throughput_messages,
+            "delivery_ratio": metrics.delivery_ratio,
+            "messages_dropped_full": metrics.messages_dropped_full,
+            "messages_rejected_duplicate": metrics.messages_rejected_duplicate,
+            "mean_hop_count": metrics.mean_hop_count,
+            "mean_messages_sent_per_node": metrics.mean_messages_sent_per_node,
+            "mean_energy_joules": metrics.mean_energy_joules,
+        }
+        for (scheme, policy, capacity), metrics in sorted(results.items())
+    ]
+    return SweepArtifact(
+        name="routing",
+        text=format_metric_comparison(
+            "Routing sweep — scheme × buffer policy × capacity",
+            flat,
+            # The buffer counters are this sweep's headline comparison (loss
+            # vs handover dedup), so they belong in the printed table too.
+            _ABLATION_METRICS
+            + ("messages_dropped_full", "messages_rejected_duplicate"),
+        ),
+        rows=rows,
+        raw=results,
+    )
+
+
 def _placement_runner(
     scale: ReproductionScale, executor: Optional[SweepExecutor]
 ) -> SweepArtifact:
@@ -843,6 +931,16 @@ register_sweep(SweepPreset(
     runner=_mobility_runner,
 ))
 register_sweep(SweepPreset(
+    name="routing",
+    description=(
+        "Forwarding scheme × buffer policy (drop-new / drop-oldest / "
+        "priority-age) × buffer capacity (8 / 64) — the DTN "
+        "buffer-management axis, with loss separated from handover "
+        "deduplication in the metrics."
+    ),
+    runner=_routing_runner,
+))
+register_sweep(SweepPreset(
     name="multisf",
     description=(
         "Uplink channels (1/3/8) × scheme under distance-based spreading "
@@ -896,6 +994,17 @@ def _mobility_label(config: ScenarioConfig) -> str:
     return mobility.model
 
 
+def _buffer_label(config: ScenarioConfig) -> str:
+    buffer = config.routing.buffer
+    if buffer.is_default:
+        return "`drop-new`, capacity device default"
+    capacity = str(buffer.capacity) if buffer.capacity > 0 else "device default"
+    label = f"`{buffer.policy}`, capacity {capacity}"
+    if buffer.ttl_s > 0:
+        label += f", TTL {buffer.ttl_s:g} s"
+    return label
+
+
 def render_scenarios_markdown() -> str:
     """The full text of ``docs/scenarios.md``, generated from the registries.
 
@@ -912,7 +1021,8 @@ def render_scenarios_markdown() -> str:
         "single source of truth the `repro` CLI runs from.  Run any preset with",
         "`repro run <name>`, inspect it with `repro describe <name>`, export it",
         "to a shareable file with `repro export <name> out.toml`, and derive",
-        "variants with the override flags (`--scheme`, `--gateways`, `--scale`,",
+        "variants with the override flags (`--scheme`, `--scheme-param`,",
+        "`--buffer`, `--buffer-capacity`, `--gateways`, `--scale`,",
         "`--device-class`, `--range`, `--routes`, `--channels`, `--sf-policy`,",
         "`--mobility`, `--trace-file`, `--seed`, …).",
         "",
@@ -946,6 +1056,7 @@ def render_scenarios_markdown() -> str:
             f"- radio: {cfg.radio.num_channels} channel(s), "
             f"`{cfg.radio.sf_policy}` SF policy",
             f"- mobility: `{cfg.mobility.model}`",
+            f"- buffer: {_buffer_label(cfg)}",
             "",
         ])
     lines.extend([

@@ -26,6 +26,9 @@ RUN_SUMMARY_FIELDS = (
     "duration_s",
     "messages_generated",
     "messages_delivered",
+    "messages_dropped_full",
+    "messages_rejected_duplicate",
+    "messages_expired_ttl",
     "delivery_ratio",
     "mean_delay_s",
     "mean_hop_count",

@@ -61,6 +61,10 @@ class MLoRaSimulation:
         self._attempt_scheduled: Dict[str, bool] = {
             device_id: False for device_id in scenario.devices
         }
+        # Hoisted once: consulted on every uplink; when False the neighbour
+        # overhear fan-out (range query + per-neighbour listening checks) is
+        # skipped entirely — plain LoRaWAN pays nothing for the routing hook.
+        self._uses_forwarding = scenario.scheme.uses_forwarding
         self._handover_count = 0
         self._handed_over_messages = 0
 
@@ -136,6 +140,9 @@ class MLoRaSimulation:
         trace = self.scenario.traces[device_id]
         if not trace.is_active(now):
             return
+        # TTL buffer policies expire stale messages here, so a queue holding
+        # only expired data reads as empty (no-op for the default policy).
+        device.queue.expire(now)
         if not device.has_data():
             return
         if not device.can_transmit(now):
@@ -155,6 +162,9 @@ class MLoRaSimulation:
             (link.capacity_bps for _, link in gateways_in_range), default=0.0
         )
         device.rca_etx.observe_transmission_slot(now, sink_capacity, wait_s=0.0)
+        # Stateful schemes (PRoPHET delivery predictabilities) observe the
+        # same slot; the default implementation is a no-op.
+        scheme.observe_transmission_slot(device.device_id, sink_capacity > 0.0, now)
 
         packet = device.build_uplink(now, include_queue_length=scheme.requires_queue_length)
         airtime_s = self.medium.airtime_s(packet.payload_bytes, device.spreading_factor)
@@ -165,7 +175,7 @@ class MLoRaSimulation:
             if self.scenario.gateways[gateway_id].listens_on(device.channel):
                 rssi_by_receiver[gateway_id] = link.rssi_dbm
         overhearers: Dict[str, float] = {}
-        if scheme.uses_forwarding:
+        if self._uses_forwarding:
             for neighbour_id, link in topology.neighbours(device.device_id, now):
                 neighbour = self.scenario.devices[neighbour_id]
                 # A single-radio neighbour only hears frames on its own
@@ -220,7 +230,7 @@ class MLoRaSimulation:
             if retry_allowed and device.has_data():
                 self._schedule_attempt(device_id, device.next_transmission_time)
 
-        if self.scenario.scheme.uses_forwarding:
+        if self._uses_forwarding:
             self._resolve_overhearing(device, packet, transmission, overhearers)
 
         self.medium.prune(now)
@@ -257,7 +267,7 @@ class MLoRaSimulation:
             return
         if not self.scenario.topology.in_contact(giver.device_id, taker.device_id, now):
             return
-        messages = giver.transferable_messages(taker.device_id, limit)
+        messages = giver.transferable_messages(taker.device_id, limit, now=now)
         if not messages:
             return
 
@@ -290,7 +300,7 @@ class MLoRaSimulation:
             transferred = [self._clone_message(m) for m in messages]
         else:
             transferred = giver.release_messages(m.message_id for m in messages)
-        accepted = taker.accept_handover(transferred, giver.device_id)
+        accepted = taker.accept_handover(transferred, giver.device_id, now=now)
         self._handover_count += 1
         self._handed_over_messages += accepted
         # The new carrier uploads at its next opportunity; make sure one exists

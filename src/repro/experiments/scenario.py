@@ -31,8 +31,9 @@ from repro.network.node import DeviceNode, SinkNode
 from repro.network.topology import TimeVaryingTopology, TopologyConfig
 from repro.phy.link import LinkCapacityModel
 from repro.phy.pathloss import LogDistancePathLoss
+from repro.mac.queueing import make_buffer_policy
 from repro.radio.sf_policy import RadioAssignment, allocate_radio
-from repro.routing import ForwardingScheme, make_scheme
+from repro.routing import ForwardingScheme, build_scheme
 from repro.sim.randomness import RandomStreams
 
 _DEVICE_CLASS_REGISTRY = {
@@ -137,6 +138,9 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
             else None
         ),
     )
+    # Buffer management: every device gets its own policy instance (policies
+    # may hold state) and the routing section's capacity override, if any.
+    buffer = config.routing.buffer
     devices: Dict[str, EndDevice] = {
         device_id: EndDevice(
             device_id,
@@ -144,6 +148,8 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
             device_class=make_device_class(config.device_class),
             spreading_factor=radio_assignments[device_id].spreading_factor,
             channel=radio_assignments[device_id].channel,
+            queue_policy=make_buffer_policy(buffer.policy, buffer.ttl_s),
+            queue_capacity=buffer.capacity if buffer.capacity > 0 else None,
         )
         for device_id in traces
     }
@@ -167,7 +173,7 @@ def build_scenario(config: ScenarioConfig) -> BuiltScenario:
         },
     )
 
-    scheme = make_scheme(config.scheme)
+    scheme = build_scheme(config.scheme, config.routing)
     return BuiltScenario(
         config=config,
         streams=streams,

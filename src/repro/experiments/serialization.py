@@ -30,9 +30,18 @@ from repro.experiments.config import ScenarioConfig
 from repro.mac.device import DeviceConfig
 from repro.mobility.config import MobilityConfig
 from repro.radio.config import RadioConfig
+from repro.routing.config import BufferConfig, RoutingConfig
 
 #: Nested dataclass tables inside a scenario mapping.
-_NESTED_TABLES = {"device": DeviceConfig, "radio": RadioConfig, "mobility": MobilityConfig}
+_NESTED_TABLES = {
+    "device": DeviceConfig,
+    "radio": RadioConfig,
+    "mobility": MobilityConfig,
+    "routing": RoutingConfig,
+}
+
+#: Dataclass sub-tables nested one level deeper, by (owner table, field).
+_NESTED_SUBTABLES = {("routing", "buffer"): BufferConfig}
 
 #: Bump when the serialized field layout changes incompatibly.
 SCENARIO_SCHEMA_VERSION = 1
@@ -97,6 +106,12 @@ def _build_dataclass(cls: type, owner: str, data: Mapping[str, Any]) -> Any:
             if not isinstance(value, Mapping):
                 raise ScenarioFormatError(f"{owner}.{name} must be a table/object, got {value!r}")
             kwargs[name] = _build_dataclass(_NESTED_TABLES[name], name, value)
+        elif (owner, name) in _NESTED_SUBTABLES:
+            if not isinstance(value, Mapping):
+                raise ScenarioFormatError(f"{owner}.{name} must be a table/object, got {value!r}")
+            kwargs[name] = _build_dataclass(
+                _NESTED_SUBTABLES[(owner, name)], f"{owner}.{name}", value
+            )
         else:
             kwargs[name] = _coerce_field(owner, field, value)
     try:
@@ -165,16 +180,33 @@ def _toml_scalar(owner: str, key: str, value: Any) -> str:
 
 
 def scenario_to_toml(config: ScenarioConfig) -> str:
-    """The configuration as TOML text (scalars first, then the nested tables)."""
+    """The configuration as TOML text (scalars first, then the nested tables).
+
+    Dataclass-valued fields inside a table (the routing ``buffer`` section)
+    become dotted sub-tables (``[routing.buffer]``), emitted after their
+    owner's scalars so the TOML table structure stays valid.
+    """
     data = scenario_to_dict(config)
     tables = {name: data.pop(name) for name in _NESTED_TABLES}
     lines = [f"{key} = {_toml_scalar('scenario', key, value)}" for key, value in data.items()]
     for name, table in tables.items():
+        subtables = {
+            key: value for key, value in table.items() if isinstance(value, dict)
+        }
         lines.append("")
         lines.append(f"[{name}]")
         lines.extend(
-            f"{key} = {_toml_scalar(name, key, value)}" for key, value in table.items()
+            f"{key} = {_toml_scalar(name, key, value)}"
+            for key, value in table.items()
+            if key not in subtables
         )
+        for sub_name, sub_table in subtables.items():
+            lines.append("")
+            lines.append(f"[{name}.{sub_name}]")
+            lines.extend(
+                f"{key} = {_toml_scalar(f'{name}.{sub_name}', key, value)}"
+                for key, value in sub_table.items()
+            )
     return "\n".join(lines) + "\n"
 
 

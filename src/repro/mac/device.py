@@ -10,7 +10,7 @@ does; the device only keeps protocol state consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.core.rca_etx import RCAETXState
@@ -23,7 +23,7 @@ from repro.mac.frames import (
     UplinkPacket,
     bundle_messages,
 )
-from repro.mac.queueing import DataQueue
+from repro.mac.queueing import BufferPolicy, DataQueue
 from repro.phy.constants import SpreadingFactor
 from repro.phy.energy import EnergyModel, RadioState
 
@@ -84,6 +84,8 @@ class EndDevice:
         packet_bits: Optional[float] = None,
         spreading_factor: SpreadingFactor = SpreadingFactor.SF7,
         channel: int = 0,
+        queue_policy: Optional[BufferPolicy] = None,
+        queue_capacity: Optional[int] = None,
     ) -> None:
         if not device_id:
             raise ValueError("device_id must be a non-empty string")
@@ -96,7 +98,13 @@ class EndDevice:
         #: commissioning time, like real sensor firmware).
         self.spreading_factor = spreading_factor
         self.channel = channel
-        self.queue = DataQueue(max_size=config.max_queue_size)
+        # The buffer: capacity defaults to the device config's queue size;
+        # ``queue_capacity``/``queue_policy`` carry the scenario's routing
+        # buffer section when it overrides those defaults.
+        self.queue = DataQueue(
+            max_size=queue_capacity if queue_capacity is not None else config.max_queue_size,
+            policy=queue_policy,
+        )
         self.duty_cycle = DutyCycleRegulator(config.duty_cycle)
         typical_payload_bits = 8.0 * (
             config.message_size_bytes * config.max_messages_per_packet + 13
@@ -126,7 +134,7 @@ class EndDevice:
             spreading_factor=self.spreading_factor,
             channel=self.channel,
         )
-        self.queue.push(message)
+        self.queue.push(message, now=now)
         self.stats.messages_generated += 1
         self.retransmission_count = 0
         return message
@@ -164,7 +172,7 @@ class EndDevice:
         if not self.has_data():
             raise ValueError(f"device {self.device_id} has no data to send")
         messages = bundle_messages(
-            self.queue.peek(self.config.max_messages_per_packet),
+            self.queue.peek(self.config.max_messages_per_packet, now=now),
             self.config.max_messages_per_packet,
         )
         return UplinkPacket(
@@ -208,16 +216,20 @@ class EndDevice:
     # ------------------------------------------------------------------ #
     # Device-to-device handovers
     # ------------------------------------------------------------------ #
-    def transferable_messages(self, destination: str, limit: int) -> List[DataMessage]:
+    def transferable_messages(
+        self, destination: str, limit: int, now: Optional[float] = None
+    ) -> List[DataMessage]:
         """Messages eligible for handover to ``destination`` (loop guard applied).
 
         Messages that were themselves received *from* ``destination`` are
         excluded so data never ping-pongs between two devices (Sec. V-B2).
+        Selection follows the buffer policy's service order (FIFO by default);
+        ``now`` lets TTL policies expire stale messages before selection.
         """
         if limit <= 0:
             return []
         eligible: List[DataMessage] = []
-        for message in self.queue.peek_all():
+        for message in self.queue.peek_all(now=now):
             if message.received_from == destination:
                 continue
             eligible.append(message)
@@ -231,12 +243,14 @@ class EndDevice:
         self.stats.messages_handed_over += len(removed)
         return removed
 
-    def accept_handover(self, messages: Iterable[DataMessage], sender: str) -> int:
+    def accept_handover(
+        self, messages: Iterable[DataMessage], sender: str, now: Optional[float] = None
+    ) -> int:
         """Accept messages handed over by ``sender``; returns how many were stored."""
         accepted = 0
         for message in messages:
             message.handover(self.device_id)
-            if self.queue.push(message):
+            if self.queue.push(message, now=now):
                 accepted += 1
         self.stats.messages_received_from_peers += accepted
         return accepted

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.mac.frames import Acknowledgement, DataMessage, UplinkPacket
+from repro.mac.frames import Acknowledgement, UplinkPacket
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ Sec. VII-A6) with the RSSI→capacity mapping of Eq. (5) inside that range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np

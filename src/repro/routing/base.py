@@ -66,5 +66,17 @@ class ForwardingScheme(ABC):
     ) -> ForwardingDecision:
         """Decide whether ``receiver`` should hand data to the packet's sender."""
 
+    def observe_transmission_slot(
+        self, device_id: str, gateway_connected: bool, now: float
+    ) -> None:
+        """Optional hook: a device took a transmission slot at ``now``.
+
+        Called by the engine at every uplink transmission, mirroring the
+        RCA-ETX observation point: ``gateway_connected`` is whether any
+        gateway was in range at the slot.  Stateful schemes (PRoPHET's
+        delivery predictabilities) update per-device state here; the default
+        is a no-op, so stateless schemes are unaffected.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"

@@ -1,7 +1,5 @@
 """Unit/functional tests for the simulation engine."""
 
-import pytest
-
 from repro.experiments.runner import MLoRaSimulation, run_scenario
 from repro.experiments.scenario import build_scenario
 

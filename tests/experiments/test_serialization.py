@@ -26,9 +26,11 @@ from repro.experiments.serialization import (
     scenario_to_toml,
 )
 from repro.mac.device import DeviceConfig
+from repro.routing.config import BufferConfig, RoutingConfig
 
 #: A configuration with every field moved off its default, including the
-#: nested device table, awkward floats and the boolean.
+#: nested device and routing tables (with the doubly-nested buffer
+#: sub-table), awkward floats and the boolean.
 FULLY_CUSTOM = ScenarioConfig(
     name="custom — scénario \U0001F68C \"quoted\\path\"\ttab\x7fdel",
     seed=987654321,
@@ -54,6 +56,16 @@ FULLY_CUSTOM = ScenarioConfig(
         ewma_alpha=0.123456789012345,
     ),
     scheme="epidemic",
+    routing=RoutingConfig(
+        max_handover_messages=5,
+        spray_initial_copies=7,
+        rgq_phi_min=0.0001,
+        rgq_phi_max=9.5,
+        prophet_p_init=0.6,
+        prophet_beta=0.3,
+        prophet_gamma=0.9999,
+        buffer=BufferConfig(policy="ttl-expiry", capacity=11, ttl_s=333.25),
+    ),
     device_class="queue-based-class-a",
 )
 
@@ -88,6 +100,30 @@ class TestRoundTrip:
             nominal_gateways=70,
         )
         assert restored.cache_key() == spec.cache_key()
+
+    def test_routing_buffer_emitted_as_dotted_toml_subtable(self):
+        text = scenario_to_toml(FULLY_CUSTOM)
+        assert "[routing]" in text
+        assert "[routing.buffer]" in text
+        assert 'policy = "ttl-expiry"' in text
+
+    def test_partial_routing_table_uses_defaults(self):
+        restored = scenario_from_dict(
+            {"name": "partial", "routing": {"spray_initial_copies": 8}}
+        )
+        assert restored.routing.spray_initial_copies == 8
+        assert restored.routing.max_handover_messages == 12
+        assert restored.routing.buffer == BufferConfig()
+
+    def test_unknown_buffer_field_rejected(self):
+        with pytest.raises(ScenarioFormatError, match="routing.buffer"):
+            scenario_from_dict(
+                {"name": "bad", "routing": {"buffer": {"not_a_field": 1}}}
+            )
+
+    def test_non_table_buffer_rejected(self):
+        with pytest.raises(ScenarioFormatError, match="table"):
+            scenario_from_dict({"name": "bad", "routing": {"buffer": 3}})
 
     def test_float_fields_restored_as_floats(self):
         # TOML/JSON writers elsewhere may render 1800.0 as 1800; the loader

@@ -1,7 +1,5 @@
 """Unit tests for the LoRaWAN device classes including the paper's variants."""
 
-import pytest
-
 from repro.mac.device_classes import (
     ClassADevice,
     ClassCDevice,

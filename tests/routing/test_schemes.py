@@ -5,10 +5,18 @@ import pytest
 from repro.mac.device import DeviceConfig, EndDevice
 from repro.mac.frames import DataMessage, UplinkPacket
 from repro.phy.link import LinkCapacityModel
-from repro.routing import SCHEME_REGISTRY, make_scheme
+from repro.routing import (
+    SCHEME_REGISTRY,
+    build_scheme,
+    make_scheme,
+    register_scheme_factory,
+    scheme_names,
+)
 from repro.routing.base import ForwardingDecision
+from repro.routing.config import RoutingConfig
 from repro.routing.epidemic import EpidemicScheme
 from repro.routing.no_routing import NoRoutingScheme
+from repro.routing.prophet import ProphetScheme
 from repro.routing.rca_etx_scheme import RCAETXScheme
 from repro.routing.robc_scheme import ROBCScheme
 from repro.routing.spray_and_wait import SprayAndWaitScheme, get_tickets
@@ -40,9 +48,12 @@ def _packet(sender="bus-y", rca_etx=2.0, queue_length=1):
 
 class TestRegistry:
     def test_all_schemes_registered(self):
-        assert set(SCHEME_REGISTRY) == {
-            "no-routing", "rca-etx", "robc", "epidemic", "spray-and-wait"
+        expected = {
+            "no-routing", "rca-etx", "robc", "epidemic", "spray-and-wait", "prophet"
         }
+        assert set(SCHEME_REGISTRY) == expected
+        # Both registries (class map and factory map) agree on the catalogue.
+        assert set(scheme_names()) == expected
 
     def test_make_scheme_builds_instances(self):
         assert isinstance(make_scheme("robc"), ROBCScheme)
@@ -51,6 +62,36 @@ class TestRegistry:
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError):
             make_scheme("definitely-not-a-scheme")
+        with pytest.raises(ValueError):
+            build_scheme("definitely-not-a-scheme")
+
+    def test_build_scheme_applies_routing_config(self):
+        routing = RoutingConfig(max_handover_messages=3, spray_initial_copies=9)
+        spray = build_scheme("spray-and-wait", routing)
+        assert spray.initial_copies == 9
+        assert spray.max_handover_messages == 3
+        robc = build_scheme("robc", RoutingConfig(rgq_phi_max=2.5))
+        assert robc.rgq.phi_max == 2.5
+        prophet = build_scheme("prophet", RoutingConfig(prophet_beta=0.5))
+        assert prophet.beta == 0.5
+
+    def test_build_scheme_returns_fresh_instances(self):
+        # Stateful schemes (prophet) must not leak state across scenarios.
+        assert build_scheme("prophet") is not build_scheme("prophet")
+
+    def test_factory_registry_is_open(self):
+        class FlipScheme(NoRoutingScheme):
+            name = "flip-test-scheme"
+
+        register_scheme_factory("flip-test-scheme", lambda routing: FlipScheme())
+        try:
+            assert isinstance(build_scheme("flip-test-scheme"), FlipScheme)
+            with pytest.raises(ValueError):
+                register_scheme_factory("flip-test-scheme", lambda routing: FlipScheme())
+        finally:
+            from repro.routing import registry as registry_module
+
+            registry_module._FACTORIES.pop("flip-test-scheme")
 
 
 class TestForwardingDecision:
@@ -181,3 +222,59 @@ class TestSprayAndWait:
             RCAETXScheme(max_handover_messages=0)
         with pytest.raises(ValueError):
             ROBCScheme(max_handover_messages=0)
+
+
+class TestProphet:
+    def test_predictability_grows_on_gateway_contact(self):
+        scheme = ProphetScheme(p_init=0.5)
+        scheme.observe_transmission_slot("bus-x", True, 0.0)
+        assert scheme.predictability("bus-x", 0.0) == pytest.approx(0.5)
+        scheme.observe_transmission_slot("bus-x", True, 0.0)
+        assert scheme.predictability("bus-x", 0.0) == pytest.approx(0.75)
+
+    def test_predictability_ages_between_contacts(self):
+        scheme = ProphetScheme(p_init=0.5, gamma=0.99)
+        scheme.observe_transmission_slot("bus-x", True, 0.0)
+        aged = scheme.predictability("bus-x", 100.0)
+        assert aged == pytest.approx(0.5 * 0.99**100)
+
+    def test_disconnected_slot_only_ages(self):
+        scheme = ProphetScheme(p_init=0.5, gamma=1.0)
+        scheme.observe_transmission_slot("bus-x", True, 0.0)
+        scheme.observe_transmission_slot("bus-x", False, 50.0)
+        assert scheme.predictability("bus-x", 50.0) == pytest.approx(0.5)
+
+    def test_forwards_to_better_connected_sender(self):
+        scheme = ProphetScheme()
+        scheme.observe_transmission_slot("bus-y", True, 999.0)
+        decision = scheme.on_overhear(_device(), _packet(sender="bus-y"), GOOD_RSSI, CAPACITY, 1000.0)
+        assert decision.forward and decision.copy
+        assert decision.message_limit > 0
+
+    def test_does_not_forward_to_unknown_sender(self):
+        scheme = ProphetScheme()
+        decision = scheme.on_overhear(_device(), _packet(sender="bus-y"), GOOD_RSSI, CAPACITY, 1000.0)
+        assert not decision.forward
+
+    def test_does_not_forward_without_data(self):
+        scheme = ProphetScheme()
+        scheme.observe_transmission_slot("bus-y", True, 999.0)
+        empty = _device(queued=0)
+        decision = scheme.on_overhear(empty, _packet(sender="bus-y"), GOOD_RSSI, CAPACITY, 1000.0)
+        assert not decision.forward
+
+    def test_transitive_update_raises_receiver_predictability(self):
+        scheme = ProphetScheme(p_init=0.8, beta=0.25, gamma=1.0)
+        scheme.observe_transmission_slot("bus-y", True, 0.0)
+        scheme.on_overhear(_device("bus-x"), _packet(sender="bus-y"), GOOD_RSSI, CAPACITY, 1.0)
+        assert scheme.predictability("bus-x", 1.0) == pytest.approx(0.8 * 0.25)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProphetScheme(p_init=0.0)
+        with pytest.raises(ValueError):
+            ProphetScheme(beta=1.5)
+        with pytest.raises(ValueError):
+            ProphetScheme(gamma=0.0)
+        with pytest.raises(ValueError):
+            ProphetScheme(max_handover_messages=0)
