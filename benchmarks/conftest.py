@@ -90,6 +90,9 @@ def pytest_sessionfinish(session, exitstatus):
         "unix_time": time.time(),
         "platform": platform.platform(),
         "python": platform.python_version(),
+        # Which engine leg of the CI matrix produced this artifact (the env
+        # override only applies to configs that don't pin an engine).
+        "engine": os.environ.get("REPRO_ENGINE", "object") or "object",
         "benchmarks": [
             {"nodeid": nodeid, **record}
             for nodeid, record in sorted(_BENCH_DURATIONS.items())

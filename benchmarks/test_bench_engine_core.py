@@ -1,0 +1,116 @@
+"""Core engine benchmark: the array engine against the object oracle.
+
+Times the *engine only*: scenario construction (~1 s of trip-trace synthesis
+at full scale) is identical on both paths and would dilute the ratio, so it
+happens in the untimed ``setup`` of every round and each round gets a fresh
+scenario (engines mutate device state).
+
+The ladder is the full-scale Sec. VII-A urban scenario under plain LoRaWAN
+at quarter/half/full fleet (240/480/960 buses, density-preserving shrink),
+one simulated hour.  The headline assertion — the reason the array engine
+exists — is a ≥ 5× wall-clock floor at 960 buses, compared on min-over-
+rounds so scheduler noise cannot flip it.  A density-preserving slice of the
+``megacity-10k`` preset (1000 buses) closes the ladder as the array-only
+smoke point.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.engine.array_engine import ArrayMLoRaSimulation
+from repro.experiments.registry import apply_overrides, get_preset
+from repro.experiments.runner import MLoRaSimulation
+from repro.experiments.scenario import build_scenario
+
+#: Wall-clock floor for the array engine at the 960-bus point.
+SPEEDUP_FLOOR = 5.0
+
+ENGINES = {"object": MLoRaSimulation, "array": ArrayMLoRaSimulation}
+
+
+def _fleet_config(fraction: float):
+    """The urban-full scenario shrunk density-preservingly to ``fraction``
+    of the 960-bus fleet, one simulated hour of plain LoRaWAN."""
+    config = get_preset("urban-full").config
+    if fraction < 1.0:
+        config = config.scaled(fraction)
+    return replace(config, duration_s=3600.0, scheme="no-routing")
+
+
+def _bench_engine(benchmark, config, engine_name: str):
+    def setup():
+        return (build_scenario(config),), {}
+
+    def run(scenario):
+        return ENGINES[engine_name](scenario).run()
+
+    metrics = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    assert metrics.messages_generated > 0
+    return metrics
+
+
+def _engine_seconds(config, engine_name: str, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        scenario = build_scenario(config)
+        start = time.perf_counter()
+        ENGINES[engine_name](scenario).run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_engine_object_240(benchmark):
+    _bench_engine(benchmark, _fleet_config(0.25), "object")
+
+
+def test_bench_engine_array_240(benchmark):
+    _bench_engine(benchmark, _fleet_config(0.25), "array")
+
+
+def test_bench_engine_object_480(benchmark):
+    _bench_engine(benchmark, _fleet_config(0.5), "object")
+
+
+def test_bench_engine_array_480(benchmark):
+    _bench_engine(benchmark, _fleet_config(0.5), "array")
+
+
+def test_bench_engine_object_960(benchmark):
+    _bench_engine(benchmark, _fleet_config(1.0), "object")
+
+
+def test_bench_engine_array_960(benchmark):
+    _bench_engine(benchmark, _fleet_config(1.0), "array")
+
+
+def test_bench_engine_speedup_floor_960():
+    """The contract number: array ≥ 5× object at the 960-bus point.
+
+    Both engines produce bit-identical RunMetrics (tests/engine/), so this
+    is pure wall-clock; min-over-rounds on each side discards scheduler
+    noise before the ratio is taken.
+    """
+    config = _fleet_config(1.0)
+    array_s = _engine_seconds(config, "array", rounds=5)
+    object_s = _engine_seconds(config, "object", rounds=3)
+    speedup = object_s / array_s
+    print()
+    print(
+        f"engine core 960 buses / 1 h: object {object_s:.2f}s, "
+        f"array {array_s:.2f}s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"array engine speedup regressed to {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x) at the 960-bus point"
+    )
+
+
+def test_bench_engine_megacity_smoke(benchmark):
+    """A 1000-bus density-preserving slice of megacity-10k on the array
+    path — the preset's engine pin survives the override machinery."""
+    config = apply_overrides(
+        get_preset("megacity-10k").config, scale=0.1, duration_s=900.0
+    )
+    assert config.engine.engine == "array"
+    metrics = _bench_engine(benchmark, config, "array")
+    assert metrics.scheme == "no-routing"

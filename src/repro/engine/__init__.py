@@ -1,0 +1,41 @@
+"""Pluggable simulation engines.
+
+``repro.engine`` owns engine *selection* (:class:`EngineConfig`, the
+``REPRO_ENGINE`` environment override) and the batched array-native engine.
+The event-driven object engine stays in
+:mod:`repro.experiments.runner` — it is the bit-exact oracle the array
+engine is differentially tested against.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.config import ENGINES, EngineConfig
+
+#: Environment variable forcing an engine for configurations that do not
+#: name one explicitly (the CI tier-1 matrix sets it per leg).
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine_name(config) -> str:
+    """The engine a scenario configuration should run on.
+
+    An explicit non-default ``engine`` section wins (a preset pinned to the
+    array engine stays on it); otherwise ``REPRO_ENGINE`` overrides the
+    default, which is how the CI matrix pushes the whole tier-1 suite
+    through the array engine.
+    """
+    name = config.engine.engine
+    if name == EngineConfig().engine:
+        forced = os.environ.get(ENGINE_ENV_VAR, "").strip()
+        if forced:
+            if forced not in ENGINES:
+                raise ValueError(
+                    f"{ENGINE_ENV_VAR} must be one of {list(ENGINES)}, got {forced!r}"
+                )
+            name = forced
+    return name
+
+
+__all__ = ["ENGINES", "ENGINE_ENV_VAR", "EngineConfig", "resolve_engine_name"]

@@ -1,0 +1,778 @@
+"""The batched array-native simulation engine.
+
+:class:`ArrayMLoRaSimulation` runs the same scenario the event-driven object
+engine (:class:`~repro.experiments.runner.MLoRaSimulation`) runs, and is
+required to produce **bit-identical** :class:`~repro.analysis.metrics.RunMetrics`.
+The object engine stays the oracle; this engine restructures the hot loops
+around array-shaped state:
+
+* **Per-tick gateway prefilter.**  Device positions at every tick of the
+  ``engine.tick_s`` grid are precomputed in one NumPy batch per trace
+  (struct-of-arrays: an ``(n_devices, n_ticks, 2)`` position table plus
+  per-device activity spans and speed-derived safety margins).  A
+  transmission slot first consults the tick's vectorized
+  distance-to-gateway mask; only devices with at least one candidate
+  gateway pay for an exact position interpolation and link computation.
+  The exact recomputation calls the *same*
+  :meth:`~repro.network.topology.TimeVaryingTopology._link_state` code the
+  oracle calls, so connectivity decisions and RSSI values are identical by
+  construction.  The margin is derived from each trace's maximum segment
+  speed, so the prefilter is a strict superset of the oracle's disc query.
+* **Disconnected fast path.**  In non-forwarding scenarios a slot with no
+  candidate gateway cannot be observed by anything: the frame reaches no
+  receiver, the reception resolution draws no randomness, and the queue
+  keeps its messages.  The fast path skips packet construction and medium
+  registration entirely and accounts only the observable effects (duty
+  cycle, energy, retransmission counters, the next retry event).
+* **Per-(channel, SF) collision buckets.**  Registered transmissions land in
+  start-time-ordered buckets with a monotone head pointer; the capture
+  check replicates :meth:`~repro.phy.collision.CollisionModel.is_received`
+  over the bucket instead of scanning one global registry.  Entries are
+  discarded once no current-or-future frame can overlap them (bounded by
+  the bucket's maximum airtime), so the scan window stays O(recent frames).
+* **Raw event heap.**  Events are plain tuples on a :mod:`heapq` list.  The
+  push sequence mirrors the oracle's :class:`~repro.sim.events.EventQueue`
+  push sequence one-to-one, so the (time, priority, insertion-order) pop
+  order — and with it every RNG draw and message id — is identical.
+
+``engine.strict_equivalence`` (default on) keeps even unobservable estimator
+state identical on the fast path; switching it off skips those updates when
+they are provably result-neutral (non-forwarding scheme, stateless observe
+hook, no queue-based Class A energy coupling).  Both settings yield the same
+RunMetrics; the differential suite in ``tests/engine/`` pins that claim.
+
+With shadowing enabled every link computation draws from the shadowing
+stream, so spatial shortcuts would change the draw order; the engine then
+delegates all spatial queries to the object topology and disables the fast
+path, remaining bit-identical at object-engine speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import replace as dataclass_replace
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import RunMetrics, compute_run_metrics
+from repro.experiments.scenario import BuiltScenario
+from repro.mac.device import EndDevice
+from repro.mac.device_classes import QueueBasedClassA
+from repro.mac.frames import METRIC_FIELD_BYTES, PACKET_OVERHEAD_BYTES
+from repro.mac.network_server import NetworkServer
+from repro.mac.queueing import BufferPolicy
+from repro.phy.collision import Transmission
+from repro.phy.constants import MAX_PHY_PAYLOAD_BYTES
+from repro.phy.energy import RadioState
+from repro.radio.medium import RadioMedium
+from repro.routing.base import ForwardingScheme
+from repro.sim.events import ATTEMPT_PRIORITY, COMPLETION_PRIORITY
+
+# Event kinds (heap entries are (time, priority, seq, kind, payload); the
+# sequence number is unique, so comparison never reaches kind/payload).
+_GENERATION = 0
+_ATTEMPT = 1
+_COMPLETION = 2
+_FAST_COMPLETION = 3
+
+#: Collision buckets are compacted once this many entries are dead.
+_BUCKET_COMPACT_THRESHOLD = 512
+
+_TX = RadioState.TX
+
+
+class ArrayMLoRaSimulation:
+    """One complete simulation run of a built scenario, batched."""
+
+    def __init__(
+        self, scenario: BuiltScenario, medium: Optional[RadioMedium] = None
+    ) -> None:
+        self.scenario = scenario
+        self.config = scenario.config
+        self.server = NetworkServer()
+        self.medium = medium or RadioMedium(
+            config=self.config.radio,
+            reception_rng=scenario.streams.stream("reception"),
+        )
+        # The medium serves as the airtime/link-quality cache and the owner of
+        # the reception stream; collision resolution happens in the buckets.
+        self._reception_rng = self.medium.reception_rng
+        self.now = 0.0
+        self._duration = self.config.duration_s
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+        self._scheme = scenario.scheme
+        self._uses_forwarding = self._scheme.uses_forwarding
+        self._handover_count = 0
+        self._handed_over_messages = 0
+
+        # Struct-of-arrays device table, in scenario insertion order (the
+        # oracle iterates the same dicts in the same order).
+        self._device_ids: List[str] = list(scenario.devices)
+        self._devices: List[EndDevice] = [
+            scenario.devices[d] for d in self._device_ids
+        ]
+        self._index_of: Dict[str, int] = {
+            device_id: i for i, device_id in enumerate(self._device_ids)
+        }
+        self._traces = [scenario.traces[d] for d in self._device_ids]
+        self._trace_start = [t.start_time for t in self._traces]
+        self._trace_end = [t.end_time for t in self._traces]
+        self._attempt_pending = [False] * len(self._devices)
+
+        # Hoisted per-device state for the inlined fast path.  The inlined
+        # updates perform the *same arithmetic in the same order* as the
+        # EndDevice/DutyCycleRegulator/EnergyModel methods they replace —
+        # only the attribute/method dispatch is removed.
+        devices = self._devices
+        self._queue_msgs = [d.queue._messages for d in devices]
+        self._queue_needs_expiry = [
+            type(d.queue.policy).expire is not BufferPolicy.expire for d in devices
+        ]
+        self._stats = [d.stats for d in devices]
+        self._energy_sec = [d.energy._seconds for d in devices]
+        self._channels = [d.channel for d in devices]
+        self._sf = [d.spreading_factor for d in devices]
+        self._na_dicts = [d.duty_cycle._next_allowed_by_channel for d in devices]
+        self._duty = [d.duty_cycle for d in devices]
+        self._off_mult = [1.0 / d.duty_cycle.duty_cycle - 1.0 for d in devices]
+        self._max_retrans = [d.config.max_retransmissions for d in devices]
+        self._max_bundle = [d.config.max_messages_per_packet for d in devices]
+        self._msg_size = [d.config.message_size_bytes for d in devices]
+        # Lazily-filled per-device airtime by bundled-message count.
+        self._fast_airtime: List[List[Optional[float]]] = [
+            [None] * (d.config.max_messages_per_packet + 1) for d in devices
+        ]
+        # RCA-ETX estimator internals for the inlined zero-capacity
+        # observation.  ``tracker`` and ``_ewma`` are only ever reassigned by
+        # ``reset()``, which no engine calls mid-run, so the hoisted
+        # references stay live for the whole run.
+        self._rca_trackers = [d.rca_etx.estimator.tracker for d in devices]
+        self._rca_ewma = [d.rca_etx.estimator._ewma for d in devices]
+        self._rca_bits = [d.rca_etx.estimator.packet_bits for d in devices]
+        self._rca_max = [d.rca_etx.estimator.max_service_time_s for d in devices]
+
+        # Uplink overhead in bytes: header + the always-present RCA-ETX metric
+        # (+ the ROBC queue-length field when the scheme piggybacks it).
+        self._uplink_overhead = PACKET_OVERHEAD_BYTES + METRIC_FIELD_BYTES + (
+            METRIC_FIELD_BYTES if self._scheme.requires_queue_length else 0
+        )
+        self._airtime_cache: Dict[Tuple[int, object], float] = {}
+
+        # Fast-path bookkeeping: strict equivalence keeps estimator state
+        # identical even when it is unobservable; relaxing it is only sound
+        # when nothing downstream can read the skipped updates.
+        scheme_observe_is_noop = (
+            type(self._scheme).observe_transmission_slot
+            is ForwardingScheme.observe_transmission_slot
+        )
+        skippable = (
+            not self._uses_forwarding
+            and scheme_observe_is_noop
+            and not any(
+                isinstance(d.device_class, QueueBasedClassA) for d in self._devices
+            )
+        )
+        self._strict_observes = (
+            self.config.engine.strict_equivalence or not skippable
+        )
+        # A base-class observe hook is a literal no-op: skipping the call is
+        # exact regardless of the strict-equivalence setting.
+        self._scheme_observe = (
+            None if scheme_observe_is_noop else self._scheme.observe_transmission_slot
+        )
+
+        # Per-(channel, int(SF)) collision buckets.
+        self._buckets: Dict[Tuple[int, int], List] = {}
+        self._bucket_horizon: Dict[Tuple[int, int], float] = {}
+        self._capture_threshold = self.medium.collisions.capture_threshold_db
+
+        # Spatial prefilter (disabled under shadowing: every link computation
+        # draws from the shadowing stream, so the draw order must follow the
+        # oracle's exact query sequence).
+        self._exact_topology = bool(self.config.shadowing)
+        self._gateway_ids: List[str] = list(scenario.gateways)
+        self._sinks = [scenario.topology.sinks[g] for g in self._gateway_ids]
+        self._tick_s = self.config.engine.tick_s
+        self._current_tick = -1
+        self._tick_any: List[bool] = []
+        self._tick_mask: Optional[np.ndarray] = None
+        if not self._exact_topology and self._devices:
+            self._build_prefilter()
+        self._fast_path_ok = not self._uses_forwarding and not self._exact_topology
+
+    # ------------------------------------------------------------------ #
+    # Prefilter construction
+    # ------------------------------------------------------------------ #
+    def _build_prefilter(self) -> None:
+        """Precompute per-tick device positions and per-device reach margins.
+
+        For a query at time ``t`` inside tick ``k`` the device has moved at
+        most ``max_segment_speed * tick_s`` metres from its (activity-clamped)
+        position at the tick start, so a disc of radius
+        ``gateway_range_m + margin`` around that position is a strict
+        superset of the oracle's range query at ``t``.
+        """
+        n_devices = len(self._devices)
+        n_ticks = int(math.floor(self._duration / self._tick_s)) + 1
+        tick_times = np.arange(n_ticks, dtype=float) * self._tick_s
+        positions = np.empty((n_devices, n_ticks, 2), dtype=float)
+        margins = np.empty((n_devices, 1), dtype=float)
+        for i, trace in enumerate(self._traces):
+            clamped = np.clip(tick_times, trace.start_time, trace.end_time)
+            positions[i] = trace.positions_at(clamped)
+            times = trace._times_array
+            if times.size > 1:
+                steps = np.hypot(np.diff(trace._xs), np.diff(trace._ys))
+                speed = float(np.max(steps / np.diff(times)))
+            else:
+                speed = 0.0
+            margins[i, 0] = speed * self._tick_s
+        self._tick_pos = positions
+        gateway_range = self.scenario.topology.config.gateway_range_m
+        reach = gateway_range + margins
+        self._reach_sq = reach * reach
+        self._gw_x = np.asarray([s.position.x for s in self._sinks], dtype=float)
+        self._gw_y = np.asarray([s.position.y for s in self._sinks], dtype=float)
+
+    def _refresh_tick(self, tick: int) -> None:
+        pos = self._tick_pos[:, tick, :]
+        dx = pos[:, 0, None] - self._gw_x[None, :]
+        dy = pos[:, 1, None] - self._gw_y[None, :]
+        mask = (dx * dx + dy * dy) <= self._reach_sq
+        self._tick_mask = mask
+        self._tick_any = mask.any(axis=1).tolist()
+        self._current_tick = tick
+
+    def _has_gateway_candidate(self, index: int, now: float) -> bool:
+        tick = int(now // self._tick_s)
+        if tick != self._current_tick:
+            self._refresh_tick(tick)
+        return self._tick_any[index]
+
+    def _gateways_in_range(self, index: int, now: float) -> List[tuple]:
+        """Replica of ``topology.gateways_in_range`` behind the prefilter.
+
+        Candidates come from the tick mask (a superset of the oracle's disc
+        query, in the same gateway insertion order); the survivors run
+        through the identical ``_link_state`` arithmetic, so the returned
+        pairs are bit-identical to the oracle's.
+        """
+        topology = self.scenario.topology
+        device_id = self._device_ids[index]
+        if self._exact_topology:
+            return topology.gateways_in_range(device_id, now)
+        if not self._has_gateway_candidate(index, now):
+            return []
+        position = self._traces[index].position_at(now)
+        if position is None:
+            return []
+        capacity_model = topology.capacity_model_for(device_id)
+        gateway_range = topology.config.gateway_range_m
+        result = []
+        for gi in np.flatnonzero(self._tick_mask[index]):
+            sink = self._sinks[gi]
+            state = topology._link_state(
+                position, sink.position, gateway_range, capacity_model
+            )
+            if state.connected:
+                result.append((sink.node_id, state))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Event heap (mirrors the oracle's EventQueue push order exactly)
+    # ------------------------------------------------------------------ #
+    def _push(self, time: float, priority: int, kind: int, payload) -> None:
+        heappush(self._heap, (time, priority, self._seq, kind, payload))
+        self._seq += 1
+
+    def _schedule_attempt(self, index: int, time: float) -> None:
+        if self._attempt_pending[index]:
+            return
+        if time >= self._duration:
+            return
+        self._attempt_pending[index] = True
+        now = self.now
+        heappush(
+            self._heap,
+            (time if time > now else now, ATTEMPT_PRIORITY, self._seq, _ATTEMPT, index),
+        )
+        self._seq += 1
+
+    def _schedule_generation_processes(self) -> None:
+        interval = self.config.device.message_interval_s
+        entries = []
+        seq = self._seq
+        for index, trace in enumerate(self._traces):
+            start = max(trace.start_time, 0.0)
+            if start >= self._duration:
+                continue
+            time = start
+            end = min(trace.end_time, self._duration)
+            while time < end:
+                entries.append((time, ATTEMPT_PRIORITY, seq, _GENERATION, index))
+                seq += 1
+                time += interval
+        self._seq = seq
+        self._heap.extend(entries)
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------ #
+    # Run control
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunMetrics:
+        """Execute the scenario and return the run metrics."""
+        self._schedule_generation_processes()
+        heap = self._heap
+        duration = self._duration
+        pending = self._attempt_pending
+        on_fast = self._on_fast_completion
+        on_complete = self._on_uplink_complete
+        attempt = self._attempt_uplink
+        devices = self._devices
+        while heap and heap[0][0] <= duration:
+            time, _, _, kind, payload = heappop(heap)
+            self.now = time
+            if kind == _FAST_COMPLETION:
+                on_fast(payload)
+            elif kind == _COMPLETION:
+                on_complete(payload)
+            elif kind == _ATTEMPT:
+                pending[payload] = False
+                attempt(payload)
+            else:  # _GENERATION — always inside the device's active span
+                devices[payload].generate_message(time)
+                attempt(payload)
+        # Land the clock exactly like the oracle's Simulator.run(until=...):
+        # remaining events (if any) lie strictly beyond the horizon.
+        if self.now < duration:
+            self.now = duration
+        from repro.experiments.runner import account_idle_energy
+
+        account_idle_energy(self.scenario, duration)
+        return compute_run_metrics(
+            scheme=self.config.scheme,
+            num_gateways=self.config.num_gateways,
+            device_range_m=self.config.device_range_m,
+            duration_s=duration,
+            devices=self._devices,
+            server=self.server,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Uplink attempts
+    # ------------------------------------------------------------------ #
+    def _attempt_uplink(self, index: int) -> None:
+        now = self.now
+        if not (self._trace_start[index] <= now <= self._trace_end[index]):
+            return
+        if self._queue_needs_expiry[index]:
+            self._devices[index].queue.expire(now)
+        queued = len(self._queue_msgs[index])
+        if not queued:
+            return
+        channel = self._channels[index]
+        next_allowed = self._na_dicts[index].get(channel, 0.0)
+        if now < next_allowed:
+            self._schedule_attempt(index, next_allowed)
+            return
+        if self._fast_path_ok:
+            # Inlined tick-prefilter check, then the exact disc query.  An
+            # empty result — whether the tick mask was empty or a margin
+            # false positive — means the slot is a disconnected slot, and in
+            # a non-forwarding scenario those take the fast path.
+            tick = int(now // self._tick_s)
+            if tick != self._current_tick:
+                self._refresh_tick(tick)
+            if self._tick_any[index]:
+                gateways = self._gateways_in_range(index, now)
+                if gateways:
+                    self._full_uplink(index, self._devices[index], now, gateways)
+                    return
+            self._fast_disconnected_uplink(index, now, queued, channel)
+            return
+        self._full_uplink(index, self._devices[index], now, None)
+
+    def _fast_disconnected_uplink(
+        self, index: int, now: float, queued: int, channel: int
+    ) -> None:
+        """A slot with no connected gateway in a non-forwarding scenario.
+
+        The frame reaches no receiver: no packet object, no registration, no
+        reception draw.  Only the observable effects remain — duty cycle and
+        energy accounting, the retransmission counter, and the retry event —
+        and they are applied inline, replicating the exact arithmetic of
+        ``EndDevice.record_uplink``.  The bundle size matches
+        ``build_uplink`` because in a non-forwarding run every queued message
+        was generated locally with the configured message size (the queue
+        was expired by the caller).
+        """
+        device = self._devices[index]
+        if self._strict_observes:
+            self._observe_slot(index, now, 0.0)
+            if self._scheme_observe is not None:
+                self._scheme_observe(device.device_id, False, now)
+        max_bundle = self._max_bundle[index]
+        bundled = queued if queued < max_bundle else max_bundle
+        airtimes = self._fast_airtime[index]
+        airtime_s = airtimes[bundled]
+        if airtime_s is None:
+            airtime_s = airtimes[bundled] = self._airtime_s(
+                self._uplink_overhead + self._msg_size[index] * bundled,
+                self._sf[index],
+            )
+        # Inlined device.record_uplink(now, airtime_s): duty cycle (the
+        # can-transmit gate already passed, so the regulator's raise is
+        # unreachable), TX energy, stats, last uplink end.
+        duty = self._duty[index]
+        duty._total_airtime_s += airtime_s
+        duty._transmissions += 1
+        off_time = airtime_s * self._off_mult[index]
+        self._na_dicts[index][channel] = now + airtime_s + off_time
+        self._energy_sec[index][_TX] += airtime_s
+        stats = self._stats[index]
+        stats.uplink_transmissions += 1
+        end = now + airtime_s
+        device.last_uplink_end = end
+        heappush(
+            self._heap, (end, COMPLETION_PRIORITY, self._seq, _FAST_COMPLETION, index)
+        )
+        self._seq += 1
+
+    def _observe_slot(self, index: int, now: float, capacity_bps: float) -> None:
+        """Inlined ``rca_etx.observe_transmission_slot(now, capacity, 0.0)``.
+
+        Same arithmetic as ``SinkContactTracker.observe`` +
+        ``RealTimePacketServiceTime.rpst`` + the EWMA fold, with the zero
+        residual wait dropped (adding ``0.0`` to a non-negative sample is
+        exact) and the method dispatch removed.
+        """
+        tracker = self._rca_trackers[index]
+        ceiling = self._rca_max[index]
+        if capacity_bps > 0.0:
+            if tracker.last_slot_capacity_bps <= 0.0:
+                tracker.contact_count += 1
+            tracker.last_slot_time = now
+            tracker.last_slot_capacity_bps = capacity_bps
+            tracker.last_contact_time = now
+            tracker.last_contact_capacity_bps = capacity_bps
+            sample = self._rca_bits[index] / capacity_bps
+            if sample > ceiling:
+                sample = ceiling
+        else:
+            tracker.last_slot_time = now
+            tracker.last_slot_capacity_bps = 0.0
+            last_contact = tracker.last_contact_time
+            if last_contact is None:
+                sample = ceiling
+            else:
+                sample = self._rca_bits[index] / tracker.last_contact_capacity_bps
+                if sample > ceiling:
+                    sample = ceiling
+                elapsed = now - last_contact
+                if elapsed > 0.0:
+                    sample += elapsed
+                    if sample > ceiling:
+                        sample = ceiling
+        ewma = self._rca_ewma[index]
+        value = ewma._value
+        ewma._value = (
+            sample
+            if value is None
+            else (1.0 - ewma.alpha) * value + ewma.alpha * sample
+        )
+        ewma._samples += 1
+
+    def _full_uplink(
+        self,
+        index: int,
+        device: EndDevice,
+        now: float,
+        gateways_in_range: Optional[List[tuple]] = None,
+    ) -> None:
+        """The oracle's ``_transmit_uplink``, with batched spatial queries."""
+        scheme = self._scheme
+        topology = self.scenario.topology
+
+        if gateways_in_range is None:
+            gateways_in_range = self._gateways_in_range(index, now)
+        sink_capacity = 0.0
+        for _, link in gateways_in_range:
+            if link.capacity_bps > sink_capacity:
+                sink_capacity = link.capacity_bps
+        self._observe_slot(index, now, sink_capacity)
+        if self._scheme_observe is not None:
+            self._scheme_observe(device.device_id, sink_capacity > 0.0, now)
+
+        packet = device.build_uplink(
+            now, include_queue_length=scheme.requires_queue_length
+        )
+        airtime_s = self._airtime_s(packet.payload_bytes, device.spreading_factor)
+        device.record_uplink(now, airtime_s)
+
+        rssi_by_receiver: Dict[str, float] = {}
+        for gateway_id, link in gateways_in_range:
+            if self.scenario.gateways[gateway_id].listens_on(device.channel):
+                rssi_by_receiver[gateway_id] = link.rssi_dbm
+        overhearers: Dict[str, float] = {}
+        if self._uses_forwarding:
+            for neighbour_id, link in topology.neighbours(device.device_id, now):
+                neighbour = self.scenario.devices[neighbour_id]
+                if (
+                    neighbour.channel == device.channel
+                    and neighbour.spreading_factor == device.spreading_factor
+                    and neighbour.is_listening(now)
+                ):
+                    rssi_by_receiver[neighbour_id] = link.rssi_dbm
+                    overhearers[neighbour_id] = link.rssi_dbm
+
+        transmission: Optional[Transmission] = None
+        if rssi_by_receiver:
+            # Frames nobody hears are unobservable: they cannot be received
+            # (no RSSI entry) and never interfere (interferers without an RSSI
+            # entry at the receiver are skipped), so only heard frames are
+            # registered in the collision buckets.
+            transmission = Transmission(
+                sender=device.device_id,
+                start_time=now,
+                duration=airtime_s,
+                channel=device.channel,
+                spreading_factor=device.spreading_factor,
+                rssi_by_receiver=rssi_by_receiver,
+            )
+            self._register(transmission)
+        self._push(
+            now + airtime_s,
+            COMPLETION_PRIORITY,
+            _COMPLETION,
+            (index, packet, transmission, overhearers),
+        )
+
+    def _airtime_s(self, payload_bytes: int, spreading_factor) -> float:
+        key = (payload_bytes, spreading_factor)
+        airtime = self._airtime_cache.get(key)
+        if airtime is None:
+            airtime = self.medium.airtime_s(payload_bytes, spreading_factor)
+            self._airtime_cache[key] = airtime
+        return airtime
+
+    # ------------------------------------------------------------------ #
+    # Uplink resolution
+    # ------------------------------------------------------------------ #
+    def _on_fast_completion(self, index: int) -> None:
+        """Completion of a frame nobody heard: always a failed uplink.
+
+        Inlined ``device.on_uplink_failed()`` plus the retry scheduling of
+        the oracle's completion handler (the queue is never empty here — an
+        unheard frame removes nothing — but the check is kept for parity).
+        """
+        device = self._devices[index]
+        device.retransmission_count += 1
+        self._stats[index].retransmissions += 1
+        if (
+            device.retransmission_count <= self._max_retrans[index]
+            and self._queue_msgs[index]
+            and not self._attempt_pending[index]
+        ):
+            retry_at = self._na_dicts[index].get(self._channels[index], 0.0)
+            if retry_at < self._duration:
+                self._attempt_pending[index] = True
+                now = self.now
+                heappush(
+                    self._heap,
+                    (
+                        retry_at if retry_at > now else now,
+                        ATTEMPT_PRIORITY,
+                        self._seq,
+                        _ATTEMPT,
+                        index,
+                    ),
+                )
+                self._seq += 1
+
+    def _on_uplink_complete(self, payload) -> None:
+        index, packet, transmission, overhearers = payload
+        device = self._devices[index]
+        now = self.now
+
+        delivered_gateway = self._resolve_gateway_reception(transmission)
+        if delivered_gateway is not None:
+            ack = self.server.process_uplink(packet, delivered_gateway, now)
+            self.scenario.gateways[delivered_gateway].receive(packet)
+            device.on_acknowledged(ack.acked_message_ids)
+            if device.has_data():
+                self._schedule_attempt(index, device.next_transmission_time)
+        else:
+            retry_allowed = device.on_uplink_failed()
+            if retry_allowed and device.has_data():
+                self._schedule_attempt(index, device.next_transmission_time)
+
+        if self._uses_forwarding:
+            self._resolve_overhearing(device, packet, transmission, overhearers)
+
+    def _resolve_gateway_reception(
+        self, transmission: Optional[Transmission]
+    ) -> Optional[str]:
+        """Replica of ``RadioMedium.resolve_gateway_reception`` over buckets.
+
+        Identical candidate order (descending RSSI) and identical draw
+        discipline: the link-quality draw happens only after the capture
+        check passes, so the reception stream advances exactly as it does in
+        the oracle.
+        """
+        if transmission is None:
+            return None
+        gateways = self.scenario.gateways
+        candidates = [
+            (rssi, receiver)
+            for receiver, rssi in transmission.rssi_by_receiver.items()
+            if receiver in gateways
+        ]
+        quality = self.medium.link_quality(transmission.spreading_factor)
+        if len(candidates) > 1:
+            candidates.sort(reverse=True)
+        for rssi, gateway_id in candidates:
+            if not self._bucket_is_received(transmission, gateway_id):
+                continue
+            if quality.frame_received(rssi, self._reception_rng):
+                return gateway_id
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Collision buckets
+    # ------------------------------------------------------------------ #
+    def _register(self, transmission: Transmission) -> None:
+        key = (transmission.channel, int(transmission.spreading_factor))
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = [[], 0]
+            # No frame in this bucket lasts longer than a full-payload frame,
+            # and resolutions happen at frame end: once an entry's end falls
+            # this far behind the resolution clock it can never overlap a
+            # current or future frame in the bucket.
+            self._bucket_horizon[key] = self.medium.airtime_s(
+                MAX_PHY_PAYLOAD_BYTES, transmission.spreading_factor
+            )
+        bucket[0].append(transmission)
+
+    def _bucket_is_received(self, transmission: Transmission, receiver: str) -> bool:
+        """Replica of ``CollisionModel.is_received`` over this frame's bucket.
+
+        Frames in other buckets never overlap (different channel or SF), and
+        bucket entries wholly before the live window are skipped via the head
+        pointer — neither can change the verdict.
+        """
+        rssi = transmission.rssi_by_receiver.get(receiver)
+        if rssi is None or rssi == float("-inf"):
+            return False
+        key = (transmission.channel, int(transmission.spreading_factor))
+        bucket = self._buckets[key]
+        entries, head = bucket
+        horizon = transmission.end_time - self._bucket_horizon[key]
+        while head < len(entries) and entries[head].end_time <= horizon:
+            head += 1
+        if head > _BUCKET_COMPACT_THRESHOLD:
+            del entries[:head]
+            head = 0
+        bucket[1] = head
+        start = transmission.start_time
+        end = transmission.end_time
+        for i in range(head, len(entries)):
+            other = entries[i]
+            if other is transmission:
+                continue
+            if other.start_time < end and start < other.end_time:
+                other_rssi = other.rssi_by_receiver.get(receiver)
+                if other_rssi is None or other_rssi == float("-inf"):
+                    continue
+                if rssi - other_rssi < self._capture_threshold:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Overhearing and handovers
+    # ------------------------------------------------------------------ #
+    def _resolve_overhearing(
+        self,
+        sender: EndDevice,
+        packet,
+        transmission: Optional[Transmission],
+        overhearers: Dict[str, float],
+    ) -> None:
+        now = self.now
+        scheme = self._scheme
+        capacity_model = self.scenario.topology.capacity_model_for(sender.device_id)
+        for neighbour_id, rssi in overhearers.items():
+            neighbour = self.scenario.devices[neighbour_id]
+            if transmission is None or not self._bucket_is_received(
+                transmission, neighbour_id
+            ):
+                continue
+            decision = scheme.on_overhear(neighbour, packet, rssi, capacity_model, now)
+            if not decision.forward:
+                continue
+            self._perform_handover(
+                neighbour, sender, decision.message_limit, decision.copy
+            )
+
+    def _perform_handover(
+        self, giver: EndDevice, taker: EndDevice, limit: int, copy: bool
+    ) -> None:
+        now = self.now
+        if not giver.can_transmit(now):
+            return
+        if not self.scenario.topology.in_contact(giver.device_id, taker.device_id, now):
+            return
+        messages = giver.transferable_messages(taker.device_id, limit, now=now)
+        if not messages:
+            return
+
+        payload_bytes = PACKET_OVERHEAD_BYTES + sum(m.size_bytes for m in messages)
+        airtime_s = self._airtime_s(payload_bytes, giver.spreading_factor)
+        giver.record_handover_transmission(now, airtime_s)
+
+        giver_index = self._index_of[giver.device_id]
+        handover_rssi = {
+            gateway_id: link.rssi_dbm
+            for gateway_id, link in self._gateways_in_range(giver_index, now)
+            if self.scenario.gateways[gateway_id].listens_on(giver.channel)
+        }
+        if handover_rssi:
+            self._register(
+                Transmission(
+                    sender=giver.device_id,
+                    start_time=now,
+                    duration=airtime_s,
+                    channel=giver.channel,
+                    spreading_factor=giver.spreading_factor,
+                    rssi_by_receiver=handover_rssi,
+                )
+            )
+
+        if copy:
+            transferred = [dataclass_replace(m) for m in messages]
+        else:
+            transferred = giver.release_messages(m.message_id for m in messages)
+        accepted = taker.accept_handover(transferred, giver.device_id, now=now)
+        self._handover_count += 1
+        self._handed_over_messages += accepted
+        self._schedule_attempt(
+            self._index_of[taker.device_id], taker.next_transmission_time
+        )
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def handover_count(self) -> int:
+        """Number of device-to-device handover frames sent."""
+        return self._handover_count
+
+    @property
+    def handed_over_messages(self) -> int:
+        """Number of messages that changed carrier at least once via this engine."""
+        return self._handed_over_messages

@@ -1,0 +1,76 @@
+"""Engine selection configuration.
+
+The simulation can execute on two interchangeable engines:
+
+``object``
+    The event-driven reference engine
+    (:class:`~repro.experiments.runner.MLoRaSimulation`) — one Python event
+    per frame per device.  It is the bit-exact oracle every other engine is
+    measured against.
+``array``
+    The batched array-native engine
+    (:class:`~repro.engine.array_engine.ArrayMLoRaSimulation`): per-tick
+    device positions and gateway candidacy live in NumPy arrays, collision
+    and capture resolution works over per-(channel, SF) buckets, and the
+    disconnected common case skips packet construction entirely.  It is
+    required to produce :class:`~repro.analysis.metrics.RunMetrics`
+    bit-identical to the object engine (pinned by
+    ``tests/engine/test_engine_equivalence.py``).
+
+Like the radio/mobility/routing sections, the default engine section is
+omitted from the configuration digest, so every configuration that predates
+the engine layer keeps its historical digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+#: The registered simulation engines.
+ENGINES: Tuple[str, ...] = ("object", "array")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Which engine runs the scenario, and its batching knobs.
+
+    ``tick_s`` is the array engine's spatial batching quantum: device
+    positions and gateway candidacy are prefiltered once per tick and reused
+    (with a speed-derived safety margin) for every transmission inside it.
+    It is a pure performance knob — results are bit-identical for any
+    positive value.  ``strict_equivalence`` keeps even *unobservable*
+    per-device estimator state identical to the object engine; switching it
+    off lets the array engine skip provably result-neutral bookkeeping on
+    the disconnected fast path.  Both settings produce identical
+    :class:`~repro.analysis.metrics.RunMetrics`.
+    """
+
+    engine: str = "object"
+    tick_s: float = 30.0
+    strict_equivalence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; available: {list(ENGINES)}"
+            )
+        if self.tick_s <= 0:
+            raise ValueError(f"tick_s must be positive, got {self.tick_s}")
+
+    @property
+    def is_default(self) -> bool:
+        """True for the historical object-engine configuration."""
+        return self == EngineConfig()
+
+    def with_engine(self, engine: str) -> "EngineConfig":
+        """A copy selecting a different engine."""
+        return replace(self, engine=engine)
+
+    def with_tick(self, tick_s: float) -> "EngineConfig":
+        """A copy with a different batching tick."""
+        return replace(self, tick_s=tick_s)
+
+    def with_strict_equivalence(self, strict: bool) -> "EngineConfig":
+        """A copy with internal-state parity switched on or off."""
+        return replace(self, strict_equivalence=strict)

@@ -27,6 +27,7 @@ import sys
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
+from repro.engine import ENGINES
 from repro.experiments.parallel import RunOutcome, RunSpec, SweepExecutor, config_digest
 from repro.experiments.registry import (
     SweepArtifact,
@@ -283,6 +284,8 @@ def _overrides_from(args: argparse.Namespace) -> dict:
         "buffer": args.buffer,
         "buffer_capacity": args.buffer_capacity,
         "buffer_ttl_s": args.buffer_ttl,
+        "engine": args.engine,
+        "engine_tick_s": args.engine_tick,
     }
 
 
@@ -442,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-file", default=None, dest="trace_file", metavar="CSV",
                      help="replay recorded node_id,time_s,x_m,y_m traces "
                           "(implies --mobility trace-file)")
+    run.add_argument("--engine", default=None, choices=ENGINES,
+                     help="simulation engine (bit-identical results; "
+                          "`array` is the batched fast path)")
+    run.add_argument("--engine-tick", type=float, default=None,
+                     dest="engine_tick", metavar="SECONDS",
+                     help="array-engine prefilter tick (performance knob)")
     run.set_defaults(func=_cmd_run)
 
     sweep = subparsers.add_parser(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.engine.config import EngineConfig
 from repro.mac.device import DeviceConfig
 from repro.mobility.config import MobilityConfig
 from repro.mobility.london import DAY_SECONDS, LondonBusNetworkConfig
@@ -64,6 +65,11 @@ class ScenarioConfig:
     #: tail-drop buffer) and is bit-compatible with the pre-routing engine.
     routing: RoutingConfig = field(default_factory=RoutingConfig)
     device_class: str = "modified-class-c"
+
+    #: Which simulation engine executes the run; the default (the
+    #: event-driven object engine) is the bit-exact oracle, and the array
+    #: engine is required to reproduce it identically.
+    engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -159,6 +165,22 @@ class ScenarioConfig:
         if sf_policy is not None:
             radio = radio.with_sf_policy(sf_policy)
         return replace(self, radio=radio)
+
+    def with_engine(
+        self,
+        engine: Optional[str] = None,
+        tick_s: Optional[float] = None,
+        strict_equivalence: Optional[bool] = None,
+    ) -> "ScenarioConfig":
+        """A copy running on a different simulation engine."""
+        section = self.engine
+        if engine is not None:
+            section = section.with_engine(engine)
+        if tick_s is not None:
+            section = section.with_tick(tick_s)
+        if strict_equivalence is not None:
+            section = section.with_strict_equivalence(strict_equivalence)
+        return replace(self, engine=section)
 
     def with_mobility(
         self,

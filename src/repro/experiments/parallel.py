@@ -29,18 +29,20 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import RunMetrics
+from repro.engine.config import EngineConfig
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
 from repro.mobility.config import MobilityConfig
 from repro.radio.config import RadioConfig
 from repro.routing.config import RoutingConfig
 
-#: The default radio/mobility/routing sections, excluded from digests for
-#: cache stability (configurations that predate each subsystem keep their
-#: digests).
+#: The default radio/mobility/routing/engine sections, excluded from digests
+#: for cache stability (configurations that predate each subsystem keep
+#: their digests).
 _DEFAULT_RADIO_DICT = asdict(RadioConfig())
 _DEFAULT_MOBILITY_DICT = asdict(MobilityConfig())
 _DEFAULT_ROUTING_DICT = asdict(RoutingConfig())
+_DEFAULT_ENGINE_DICT = asdict(EngineConfig())
 
 #: Derived seeds stay in the positive signed-64-bit range.
 _SEED_SPACE = 2**63
@@ -106,6 +108,8 @@ def config_digest(config: ScenarioConfig) -> str:
         del payload_dict["radio"]
     if payload_dict.get("routing") == _DEFAULT_ROUTING_DICT:
         del payload_dict["routing"]
+    if payload_dict.get("engine") == _DEFAULT_ENGINE_DICT:
+        del payload_dict["engine"]
     mobility = payload_dict.get("mobility")
     if mobility == _DEFAULT_MOBILITY_DICT:
         del payload_dict["mobility"]

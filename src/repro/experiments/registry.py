@@ -454,6 +454,30 @@ register_preset(ScenarioPreset(
 ))
 
 register_preset(ScenarioPreset(
+    name="megacity-10k",
+    description=(
+        "A 10,000-bus megacity stress scenario: 1250 routes × 8 trips over "
+        "6250 km² with 625 gateways (urban density preserved), 30 simulated "
+        "minutes of plain LoRaWAN.  Sized beyond what the object engine can "
+        "run interactively, the preset selects the array engine in its "
+        "configuration; it exists to exercise and benchmark the batched "
+        "path at scale (`repro run megacity-10k`)."
+    ),
+    tags=("synthetic", "urban", "engine", "stress"),
+    config=ScenarioConfig(
+        name="megacity-10k",
+        seed=7,
+        duration_s=1800.0,
+        area_km2=6250.0,
+        num_gateways=625,
+        num_routes=1250,
+        trips_per_route=8,
+        device_range_m=URBAN_DEVICE_RANGE_M,
+        scheme="no-routing",
+    ).with_engine("array"),
+))
+
+register_preset(ScenarioPreset(
     name="rural-smoke",
     description=(
         "A sub-second rural (1000 m) scenario used by the CLI smoke and "
@@ -489,6 +513,8 @@ def apply_overrides(
     buffer: Optional[str] = None,
     buffer_capacity: Optional[int] = None,
     buffer_ttl_s: Optional[float] = None,
+    engine: Optional[str] = None,
+    engine_tick_s: Optional[float] = None,
 ) -> ScenarioConfig:
     """Derive a variant of ``config`` from CLI-style overrides.
 
@@ -510,6 +536,8 @@ def apply_overrides(
         config = config.with_buffer(
             policy=buffer, capacity=buffer_capacity, ttl_s=buffer_ttl_s
         )
+    if engine is not None or engine_tick_s is not None:
+        config = config.with_engine(engine=engine, tick_s=engine_tick_s)
     fields: Dict[str, Any] = {}
     if scheme is not None:
         fields["scheme"] = scheme

@@ -317,13 +317,7 @@ class MLoRaSimulation:
     # Energy
     # ------------------------------------------------------------------ #
     def _account_idle_energy(self) -> None:
-        for device_id, device in self.scenario.devices.items():
-            trace = self.scenario.traces[device_id]
-            active_start = min(trace.start_time, self.config.duration_s)
-            active_end = min(trace.end_time, self.config.duration_s)
-            active = max(active_end - active_start, 0.0)
-            tx_time = device.duty_cycle.total_airtime_s
-            device.account_idle_period(max(active - tx_time, 0.0))
+        account_idle_energy(self.scenario, self.config.duration_s)
 
     # ------------------------------------------------------------------ #
     # Diagnostics
@@ -339,7 +333,44 @@ class MLoRaSimulation:
         return self._handed_over_messages
 
 
+def account_idle_energy(scenario: BuiltScenario, duration_s: float) -> None:
+    """Charge every device for its in-window idle (non-transmitting) time.
+
+    Shared by both engines: a device is powered while its trace is in service
+    and inside the simulated window; whatever part of that it did not spend
+    transmitting splits between listening and sleep according to its device
+    class.
+
+    The recorded airtime can overshoot the window: a frame whose transmission
+    starts just before ``duration_s`` keeps transmitting past it, and the full
+    airtime is on the duty-cycle books.  Only the *last* frame can straddle
+    the boundary (the mandatory off-time after any frame dwarfs the frame
+    itself, so a device's own frames never overlap), so the overshoot is
+    exactly ``last_uplink_end - active_end`` and is clipped from the TX time
+    charged against the active interval.
+    """
+    for device_id, device in scenario.devices.items():
+        trace = scenario.traces[device_id]
+        active_start = min(trace.start_time, duration_s)
+        active_end = min(trace.end_time, duration_s)
+        active = max(active_end - active_start, 0.0)
+        tx_time = device.duty_cycle.total_airtime_s
+        overshoot = max(device.last_uplink_end - active_end, 0.0)
+        device.account_idle_period(max(active - (tx_time - overshoot), 0.0))
+
+
 def run_scenario(config: ScenarioConfig) -> RunMetrics:
-    """Build and run a scenario in one call."""
+    """Build and run a scenario in one call.
+
+    The engine comes from the configuration's ``engine`` section, with the
+    ``REPRO_ENGINE`` environment variable overriding the default (see
+    :func:`repro.engine.resolve_engine_name`).
+    """
+    from repro.engine import resolve_engine_name
+
     scenario = build_scenario(config)
+    if resolve_engine_name(config) == "array":
+        from repro.engine.array_engine import ArrayMLoRaSimulation
+
+        return ArrayMLoRaSimulation(scenario).run()
     return MLoRaSimulation(scenario).run()

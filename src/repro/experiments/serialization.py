@@ -26,6 +26,7 @@ try:  # Python >= 3.11
 except ImportError:  # pragma: no cover - older interpreters
     tomllib = None  # type: ignore[assignment]
 
+from repro.engine.config import EngineConfig
 from repro.experiments.config import ScenarioConfig
 from repro.mac.device import DeviceConfig
 from repro.mobility.config import MobilityConfig
@@ -38,6 +39,7 @@ _NESTED_TABLES = {
     "radio": RadioConfig,
     "mobility": MobilityConfig,
     "routing": RoutingConfig,
+    "engine": EngineConfig,
 }
 
 #: Dataclass sub-tables nested one level deeper, by (owner table, field).

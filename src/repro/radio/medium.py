@@ -79,6 +79,16 @@ class RadioMedium:
         self._airtime_by_sf: Dict[SpreadingFactor, AirtimeCalculator] = {}
         self._quality_by_sf: Dict[SpreadingFactor, LinkQualityEstimator] = {}
 
+    @property
+    def reception_rng(self) -> Optional[np.random.Generator]:
+        """The reception random stream.
+
+        Exposed for engines that replicate the resolution order of
+        :meth:`resolve_gateway_reception` themselves — the draw sequence from
+        this stream is part of the seed-equivalence contract.
+        """
+        return self._reception_rng
+
     # ------------------------------------------------------------------ #
     # Per-SF radio parameters
     # ------------------------------------------------------------------ #

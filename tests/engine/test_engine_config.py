@@ -1,0 +1,92 @@
+"""The engine configuration section: selection, digests, serialization.
+
+The ``engine`` section must behave like the radio/mobility/routing sections
+before it: a *default* section is invisible (omitted from the configuration
+digest, so every pre-engine-layer cache entry stays valid) and any
+non-default section is part of the cache key.  Engine selection layers the
+``REPRO_ENGINE`` environment override (the CI matrix) beneath an explicit
+per-configuration choice (the ``megacity-10k`` preset).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import ENGINE_ENV_VAR, ENGINES, EngineConfig, resolve_engine_name
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import config_digest
+from repro.experiments.serialization import (
+    scenario_from_json,
+    scenario_from_toml,
+    scenario_to_json,
+    scenario_to_toml,
+)
+
+
+class TestEngineConfig:
+    def test_registry_and_validation(self):
+        assert ENGINES == ("object", "array")
+        assert EngineConfig().is_default
+        assert not EngineConfig(engine="array").is_default
+        assert not EngineConfig(tick_s=5.0).is_default
+        with pytest.raises(ValueError):
+            EngineConfig(engine="gpu")
+        with pytest.raises(ValueError):
+            EngineConfig(tick_s=0.0)
+
+    def test_with_engine_helper_composes(self):
+        config = ScenarioConfig().with_engine("array", tick_s=7.0)
+        assert config.engine == EngineConfig(engine="array", tick_s=7.0)
+        relaxed = config.with_engine(strict_equivalence=False)
+        assert relaxed.engine.engine == "array"
+        assert not relaxed.engine.strict_equivalence
+
+
+class TestDigestTransparency:
+    def test_explicit_default_engine_is_digest_transparent(self):
+        base = ScenarioConfig()
+        explicit = dataclasses.replace(base, engine=EngineConfig())
+        assert config_digest(explicit) == config_digest(base)
+
+    def test_non_default_engine_changes_the_digest(self):
+        base = ScenarioConfig()
+        digests = {
+            config_digest(base),
+            config_digest(base.with_engine("array")),
+            config_digest(base.with_engine(tick_s=5.0)),
+            config_digest(base.with_engine(strict_equivalence=False)),
+        }
+        assert len(digests) == 4
+
+
+class TestSerialization:
+    def test_engine_section_round_trips(self):
+        config = ScenarioConfig().with_engine("array", tick_s=7.5).with_engine(
+            strict_equivalence=False
+        )
+        assert scenario_from_json(scenario_to_json(config)) == config
+        assert scenario_from_toml(scenario_to_toml(config)) == config
+
+    def test_unknown_engine_in_file_is_rejected(self):
+        text = scenario_to_json(ScenarioConfig()).replace('"object"', '"warp"')
+        with pytest.raises(ValueError):
+            scenario_from_json(text)
+
+
+class TestResolution:
+    def test_default_resolves_to_object(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert resolve_engine_name(ScenarioConfig()) == "object"
+
+    def test_env_overrides_default_only(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "array")
+        assert resolve_engine_name(ScenarioConfig()) == "array"
+        # An explicit choice (e.g. the megacity-10k preset) beats the env.
+        pinned = ScenarioConfig().with_engine("array").with_engine(tick_s=5.0)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "object")
+        assert resolve_engine_name(pinned) == "array"
+
+    def test_invalid_env_value_is_an_error(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "warp")
+        with pytest.raises(ValueError):
+            resolve_engine_name(ScenarioConfig())

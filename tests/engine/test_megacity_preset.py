@@ -1,0 +1,36 @@
+"""The megacity-10k preset: the array engine's flagship scenario.
+
+Ten thousand buses is far beyond what the object engine can run
+interactively, so the preset pins ``engine = "array"`` in its configuration
+— an explicit choice that survives the ``REPRO_ENGINE`` environment
+override.  The full preset is benchmark territory
+(``benchmarks/test_bench_engine_core.py``); here a density-preserving shrink
+proves the configuration is runnable end-to-end on the array path.
+"""
+
+from repro.engine import resolve_engine_name
+from repro.experiments.registry import apply_overrides, get_preset
+from repro.experiments.runner import run_scenario
+
+
+class TestMegacityPreset:
+    def test_preset_is_a_10k_bus_array_engine_scenario(self):
+        config = get_preset("megacity-10k").config
+        assert config.num_routes * config.trips_per_route == 10_000
+        assert config.engine.engine == "array"
+        assert resolve_engine_name(config) == "array"
+        # Urban density: ~10 km² and ~16 buses per gateway, as in urban-full.
+        assert config.area_km2 / config.num_gateways == 10.0
+
+    def test_env_cannot_push_the_preset_off_the_array_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "object")
+        assert resolve_engine_name(get_preset("megacity-10k").config) == "array"
+
+    def test_scaled_smoke_run_executes_on_the_array_path(self):
+        config = apply_overrides(
+            get_preset("megacity-10k").config, scale=0.01, duration_s=600.0
+        )
+        assert config.engine.engine == "array"
+        metrics = run_scenario(config)
+        assert metrics.messages_generated > 0
+        assert metrics.scheme == "no-routing"

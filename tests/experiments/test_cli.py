@@ -60,6 +60,16 @@ class TestEquivalence:
         for key, metrics in api_sweep.runs.items():
             assert artifact.raw.runs[key] == metrics, key
 
+    def test_engine_override_matches_api_bit_identically(self):
+        """`repro run urban-smoke --engine array` == the API on either engine."""
+        config = get_preset("urban-smoke").config
+        outcome = run_target("urban-smoke", engine="array")
+        assert outcome.spec.config.engine.engine == "array"
+        assert outcome.metrics == run_scenario(config.with_engine("array"))
+        # The array engine is bit-identical to the object oracle, so the
+        # override changes the execution path, never the results.
+        assert outcome.metrics == run_scenario(config)
+
     def test_cached_cli_run_serves_identical_metrics(self, tmp_path):
         executor = build_executor(workers=1, cache_dir=str(tmp_path))
         first = run_target("urban-smoke", executor=executor)
