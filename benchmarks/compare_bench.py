@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Diff a fresh ``BENCH_results.json`` against the committed baseline.
+
+CI runs this after the benchmark-smoke job: it prints a per-benchmark delta
+table either way and exits non-zero only when an *engine-core* benchmark
+(``benchmarks/test_bench_engine_core.py``) regresses by more than the
+threshold (default 25 % wall-clock).  The other figure benchmarks are noisy
+reproductions, so they are reported but never gate.
+
+Times are compared on ``best_wall_time_s`` (best-of-N, recorded by the
+benchmarks conftest for tests using the ``benchmark`` fixture) and fall back
+to the raw call-phase ``wall_time_s`` when no rounds were recorded.
+
+Refresh the baseline after an intentional performance change with::
+
+    REPRO_BENCH_RESULTS=BENCH_results.json pytest benchmarks -q -k engine
+    python benchmarks/compare_bench.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import Dict, Optional, Tuple
+
+#: Benchmarks whose regressions fail the build.
+GATED_PREFIX = "benchmarks/test_bench_engine_core.py"
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_baseline.json")
+DEFAULT_FRESH = "BENCH_results.json"
+
+
+def load_times(path: str) -> Dict[str, float]:
+    """nodeid → wall time (best-of-N when recorded) for passed benchmarks."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    times: Dict[str, float] = {}
+    for record in payload.get("benchmarks", []):
+        if record.get("outcome") not in (None, "passed"):
+            continue
+        value = record.get("best_wall_time_s", record.get("wall_time_s"))
+        if value is not None:
+            times[record["nodeid"]] = float(value)
+    return times
+
+
+def format_row(nodeid: str, base: Optional[float], fresh: Optional[float]) -> Tuple[str, Optional[float]]:
+    """One table line plus the signed delta fraction (None when incomparable)."""
+    name = nodeid.split("::")[-1]
+    if base is None:
+        return f"{name:<44} {'—':>10} {fresh:>9.3f}s {'new':>9}", None
+    if fresh is None:
+        return f"{name:<44} {base:>9.3f}s {'—':>10} {'missing':>9}", None
+    delta = (fresh - base) / base if base > 0 else 0.0
+    return f"{name:<44} {base:>9.3f}s {fresh:>9.3f}s {delta:>+8.1%}", delta
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, help="committed baseline artifact")
+    parser.add_argument("--fresh", default=DEFAULT_FRESH, help="freshly produced artifact")
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=25.0,
+        help="maximum tolerated slowdown (%%) on engine-core benchmarks",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh artifact over the baseline instead of diffing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated: {args.fresh} -> {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update to create one")
+        return 0
+
+    baseline = load_times(args.baseline)
+    fresh = load_times(args.fresh)
+    threshold = args.fail_over / 100.0
+
+    print(f"{'benchmark':<44} {'baseline':>10} {'fresh':>10} {'delta':>9}")
+    regressions = []
+    for nodeid in sorted(baseline.keys() | fresh.keys()):
+        line, delta = format_row(nodeid, baseline.get(nodeid), fresh.get(nodeid))
+        gated = nodeid.startswith(GATED_PREFIX)
+        if gated and delta is not None and delta > threshold:
+            regressions.append((nodeid, delta))
+            line += "  << REGRESSION"
+        elif not gated:
+            line += "  (ungated)"
+        print(line)
+
+    if regressions:
+        print()
+        print(
+            f"{len(regressions)} engine benchmark(s) regressed more than "
+            f"{args.fail_over:.0f}% vs {args.baseline}:"
+        )
+        for nodeid, delta in regressions:
+            print(f"  {nodeid}: {delta:+.1%}")
+        return 1
+    print()
+    print(f"no engine-core regression beyond {args.fail_over:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

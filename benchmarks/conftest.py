@@ -63,10 +63,32 @@ BENCH_RESULTS_ENV_VAR = "REPRO_BENCH_RESULTS"
 DEFAULT_BENCH_RESULTS_PATH = "BENCH_results.json"
 
 _BENCH_DURATIONS: Dict[str, Dict[str, object]] = {}
+_BENCH_BEST: Dict[str, Dict[str, object]] = {}
 
 
 def _results_path() -> str:
     return os.environ.get(BENCH_RESULTS_ENV_VAR, DEFAULT_BENCH_RESULTS_PATH)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Capture per-round benchmark stats so the artifact can record best-of-N.
+
+    Tests using the ``benchmark`` fixture (the engine-core ladder runs
+    ``pedantic`` with 3 rounds) get a ``best_wall_time_s`` field holding the
+    minimum round time — the noise-robust number ``compare_bench.py`` diffs —
+    next to the raw call-phase ``wall_time_s``.
+    """
+    yield
+    benchmark = getattr(item, "funcargs", {}).get("benchmark")
+    stats = getattr(benchmark, "stats", None) if benchmark is not None else None
+    stats = getattr(stats, "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return
+    _BENCH_BEST[item.nodeid] = {
+        "best_wall_time_s": round(stats.min, 6),
+        "rounds": stats.rounds,
+    }
 
 
 def pytest_runtest_logreport(report):
@@ -76,6 +98,7 @@ def pytest_runtest_logreport(report):
     _BENCH_DURATIONS[report.nodeid] = {
         "wall_time_s": round(report.duration, 6),
         "outcome": report.outcome,
+        **_BENCH_BEST.get(report.nodeid, {}),
     }
 
 

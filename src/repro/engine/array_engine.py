@@ -34,12 +34,27 @@ around array-shaped state:
   push sequence mirrors the oracle's :class:`~repro.sim.events.EventQueue`
   push sequence one-to-one, so the (time, priority, insertion-order) pop
   order — and with it every RNG draw and message id — is identical.
+* **Vectorized forwarding hot path.**  In forwarding scenarios every
+  completed uplink fans out to its overhearers.  Neighbour candidacy is
+  answered from per-tick arrays (squared-distance mask over the tick's
+  position row, intersected with cached per-(channel, SF) listening masks
+  and an activity-span superset); survivors are recomputed scalar-exactly
+  with the oracle's arithmetic, in the oracle's device order.  Forwarding
+  verdicts then go through :meth:`~repro.routing.base.ForwardingScheme.
+  on_overhear_batch` — one call per transmission instead of one per
+  overhearer — which is exact because decisions are receiver-local, draw no
+  RNG, and handovers run afterwards in the same receiver order.
 
 ``engine.strict_equivalence`` (default on) keeps even unobservable estimator
 state identical on the fast path; switching it off skips those updates when
 they are provably result-neutral (non-forwarding scheme, stateless observe
-hook, no queue-based Class A energy coupling).  Both settings yield the same
-RunMetrics; the differential suite in ``tests/engine/`` pins that claim.
+hook, no queue-based Class A energy coupling), chains generation events
+(one live event per device instead of a pre-scheduled ladder) and coalesces
+*same-time completion groups* — maximal runs of completions tied at the
+same float time with pairwise-disjoint participants — into a single batched
+resolution pass.  Both settings yield the same RunMetrics (relaxed mode is
+RunMetrics-equal rather than event-trace-identical); the differential
+suites in ``tests/engine/`` pin both claims.
 
 With shadowing enabled every link computation draws from the shadowing
 stream, so spatial shortcuts would change the draw order; the engine then
@@ -51,6 +66,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from bisect import bisect_right
 from dataclasses import replace as dataclass_replace
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
@@ -60,13 +76,14 @@ import numpy as np
 from repro.analysis.metrics import RunMetrics, compute_run_metrics
 from repro.experiments.scenario import BuiltScenario
 from repro.mac.device import EndDevice
-from repro.mac.device_classes import QueueBasedClassA
+from repro.mac.device_classes import ModifiedClassC, QueueBasedClassA
 from repro.mac.frames import METRIC_FIELD_BYTES, PACKET_OVERHEAD_BYTES
 from repro.mac.network_server import NetworkServer
 from repro.mac.queueing import BufferPolicy
 from repro.phy.collision import Transmission
 from repro.phy.constants import MAX_PHY_PAYLOAD_BYTES
 from repro.phy.energy import RadioState
+from repro.phy.link import LinkCapacityModel
 from repro.radio.medium import RadioMedium
 from repro.routing.base import ForwardingScheme
 from repro.sim.events import ATTEMPT_PRIORITY, COMPLETION_PRIORITY
@@ -82,6 +99,7 @@ _FAST_COMPLETION = 3
 _BUCKET_COMPACT_THRESHOLD = 512
 
 _TX = RadioState.TX
+_NEG_INF = float("-inf")
 
 
 class ArrayMLoRaSimulation:
@@ -205,6 +223,24 @@ class ArrayMLoRaSimulation:
             self._build_prefilter()
         self._fast_path_ok = not self._uses_forwarding and not self._exact_topology
 
+        # Batched forwarding decisions: only schemes that override
+        # ``on_overhear_batch`` take the batch path — the base-class default
+        # would just loop over ``on_overhear`` anyway, so custom registered
+        # schemes keep the exact scalar interleaving they were written for.
+        self._batch_decide = (
+            type(self._scheme).on_overhear_batch
+            is not ForwardingScheme.on_overhear_batch
+        )
+        # Relaxed-order execution (``strict_equivalence=False``): generation
+        # events are re-armed on pop instead of pre-scheduled, and completions
+        # that tie at the same instant with pairwise-disjoint participants are
+        # coalesced into one resolution pass with a single batched forwarding
+        # decision call.  Both are RunMetrics-equivalent to the oracle (the
+        # differential suites pin this); the event/seq bookkeeping may differ.
+        relaxed = not self.config.engine.strict_equivalence
+        self._chain_generations = relaxed
+        self._relaxed_groups = relaxed and self._uses_forwarding and self._batch_decide
+
     # ------------------------------------------------------------------ #
     # Prefilter construction
     # ------------------------------------------------------------------ #
@@ -238,6 +274,76 @@ class ArrayMLoRaSimulation:
         self._reach_sq = reach * reach
         self._gw_x = np.asarray([s.position.x for s in self._sinks], dtype=float)
         self._gw_y = np.asarray([s.position.y for s in self._sinks], dtype=float)
+        if self._uses_forwarding:
+            self._build_overhear_tables(positions, margins[:, 0])
+
+    def _build_overhear_tables(
+        self, positions: np.ndarray, margins: np.ndarray
+    ) -> None:
+        """Precompute the arrays behind the batched overhear candidacy.
+
+        Per-slot neighbour candidacy is one vectorized disc test over the
+        whole fleet's tick positions: device ``j`` is a candidate overhearer
+        of a transmitter at exact position ``p`` when its tick position lies
+        within ``device_range_m + margin_j`` of ``p`` — the same
+        strict-superset argument the gateway prefilter uses.  Static receiver
+        masks (overhear-capable device class, matching channel and SF) are
+        held as NumPy bool arrays and folded in per (tick, channel, SF);
+        survivors then run the exact scalar position/link arithmetic.
+        """
+        topology = self.scenario.topology
+        devices = self._devices
+        n = len(devices)
+        device_range = topology.config.device_range_m
+        reach = device_range + margins
+        self._dev_reach_sq = reach * reach
+        # Tick positions transposed to (n_ticks, n_devices) so one tick's
+        # coordinates are a contiguous row.
+        self._tick_x = np.ascontiguousarray(positions[:, :, 0].T)
+        self._tick_y = np.ascontiguousarray(positions[:, :, 1].T)
+        # Static listening categories.  ModifiedClassC always listens
+        # (fraction 1.0 regardless of state), ClassA/ClassC never overhear
+        # devices; anything else (QueueBasedClassA, custom classes) keeps the
+        # exact per-call ``is_listening`` check on the scalar survivor stage.
+        capable = np.zeros(n, dtype=bool)
+        always = [False] * n
+        for j, device in enumerate(devices):
+            cls = device.device_class
+            if not getattr(cls, "overhears_devices", False):
+                continue
+            capable[j] = True
+            if type(cls) is ModifiedClassC:
+                always[j] = True
+        self._overhear_capable = capable
+        self._always_listening = always
+        self._channels_arr = np.asarray(self._channels, dtype=np.int64)
+        self._sf_arr = np.asarray([int(sf) for sf in self._sf], dtype=np.int64)
+        self._active_start_arr = np.asarray(self._trace_start, dtype=float)
+        self._active_end_arr = np.asarray(self._trace_end, dtype=float)
+        self._rx_static_masks: Dict[Tuple[int, int], np.ndarray] = {}
+        self._tick_rx_masks: Dict[Tuple[int, int], np.ndarray] = {}
+        # Exact survivor-stage state: plain-Python trace samples (bisect +
+        # scalar interpolation, the same arithmetic as ``position_at``) and
+        # the transmitter-side link model.
+        traces = self._traces
+        self._trace_times = [t._times for t in traces]
+        self._trace_xs = [t._xs.tolist() for t in traces]
+        self._trace_ys = [t._ys.tolist() for t in traces]
+        self._tx_power = topology.config.tx_power_dbm
+        self._device_range = device_range
+        self._received_power = topology.path_loss.received_power_dbm
+        self._cap_models = [
+            topology.capacity_model_for(device_id) for device_id in self._device_ids
+        ]
+        # For the stock linear capacity model (with positive peak capacity),
+        # connected ⟺ rssi strictly above the floor; anything else falls back
+        # to the generic capacity call.
+        self._cap_rssi_min = [
+            model.rssi_min_dbm
+            if type(model) is LinkCapacityModel and model.max_capacity_bps > 0.0
+            else None
+            for model in self._cap_models
+        ]
 
     def _refresh_tick(self, tick: int) -> None:
         pos = self._tick_pos[:, tick, :]
@@ -247,6 +353,16 @@ class ArrayMLoRaSimulation:
         self._tick_mask = mask
         self._tick_any = mask.any(axis=1).tolist()
         self._current_tick = tick
+        if self._uses_forwarding:
+            # Receiver masks are per (tick, channel, SF): static receiver
+            # eligibility folded with this tick's active-span superset (any
+            # device active at some instant of the tick; survivors re-check
+            # the exact span).
+            self._tick_rx_masks.clear()
+            lo = tick * self._tick_s
+            self._tick_active_sup = (self._active_start_arr <= lo + self._tick_s) & (
+                lo <= self._active_end_arr
+            )
 
     def _has_gateway_candidate(self, index: int, now: float) -> bool:
         tick = int(now // self._tick_s)
@@ -254,13 +370,16 @@ class ArrayMLoRaSimulation:
             self._refresh_tick(tick)
         return self._tick_any[index]
 
-    def _gateways_in_range(self, index: int, now: float) -> List[tuple]:
+    def _gateways_in_range(
+        self, index: int, now: float, position=None
+    ) -> List[tuple]:
         """Replica of ``topology.gateways_in_range`` behind the prefilter.
 
         Candidates come from the tick mask (a superset of the oracle's disc
         query, in the same gateway insertion order); the survivors run
         through the identical ``_link_state`` arithmetic, so the returned
-        pairs are bit-identical to the oracle's.
+        pairs are bit-identical to the oracle's.  Callers that already hold
+        the device's exact position pass it to skip the re-interpolation.
         """
         topology = self.scenario.topology
         device_id = self._device_ids[index]
@@ -268,9 +387,10 @@ class ArrayMLoRaSimulation:
             return topology.gateways_in_range(device_id, now)
         if not self._has_gateway_candidate(index, now):
             return []
-        position = self._traces[index].position_at(now)
         if position is None:
-            return []
+            position = self._traces[index].position_at(now)
+            if position is None:
+                return []
         capacity_model = topology.capacity_model_for(device_id)
         gateway_range = topology.config.gateway_range_m
         result = []
@@ -307,16 +427,36 @@ class ArrayMLoRaSimulation:
         interval = self.config.device.message_interval_s
         entries = []
         seq = self._seq
-        for index, trace in enumerate(self._traces):
-            start = max(trace.start_time, 0.0)
-            if start >= self._duration:
-                continue
-            time = start
-            end = min(trace.end_time, self._duration)
-            while time < end:
-                entries.append((time, ATTEMPT_PRIORITY, seq, _GENERATION, index))
-                seq += 1
-                time += interval
+        if self._chain_generations:
+            # Relaxed mode: one live generation event per device, re-armed on
+            # pop instead of the fully pre-scheduled ladder.  The event times
+            # are the identical accumulated floats and same-time generations
+            # keep device order (initial events are pushed in device order;
+            # each pop re-arms in pop order), so only the seq interleaving
+            # with attempt events differs — observable solely on exact float
+            # ties between a generation and an airtime-derived attempt time.
+            # The differential suites pin RunMetrics equality.
+            ends = [0.0] * len(self._traces)
+            for index, trace in enumerate(self._traces):
+                start = max(trace.start_time, 0.0)
+                end = min(trace.end_time, self._duration)
+                ends[index] = end
+                if start < end:
+                    entries.append((start, ATTEMPT_PRIORITY, seq, _GENERATION, index))
+                    seq += 1
+            self._generation_end = ends
+            self._generation_interval = interval
+        else:
+            for index, trace in enumerate(self._traces):
+                start = max(trace.start_time, 0.0)
+                if start >= self._duration:
+                    continue
+                time = start
+                end = min(trace.end_time, self._duration)
+                while time < end:
+                    entries.append((time, ATTEMPT_PRIORITY, seq, _GENERATION, index))
+                    seq += 1
+                    time += interval
         self._seq = seq
         self._heap.extend(entries)
         heapq.heapify(self._heap)
@@ -334,18 +474,42 @@ class ArrayMLoRaSimulation:
         on_complete = self._on_uplink_complete
         attempt = self._attempt_uplink
         devices = self._devices
+        relaxed_groups = self._relaxed_groups
+        chain = self._chain_generations
         while heap and heap[0][0] <= duration:
             time, _, _, kind, payload = heappop(heap)
             self.now = time
             if kind == _FAST_COMPLETION:
                 on_fast(payload)
             elif kind == _COMPLETION:
-                on_complete(payload)
+                if (
+                    relaxed_groups
+                    and heap
+                    and heap[0][0] == time
+                    and heap[0][3] == _COMPLETION
+                ):
+                    self._resolve_completion_group(time, payload)
+                else:
+                    on_complete(payload)
             elif kind == _ATTEMPT:
                 pending[payload] = False
                 attempt(payload)
             else:  # _GENERATION — always inside the device's active span
                 devices[payload].generate_message(time)
+                if chain:
+                    next_time = time + self._generation_interval
+                    if next_time < self._generation_end[payload]:
+                        heappush(
+                            heap,
+                            (
+                                next_time,
+                                ATTEMPT_PRIORITY,
+                                self._seq,
+                                _GENERATION,
+                                payload,
+                            ),
+                        )
+                        self._seq += 1
                 attempt(payload)
         # Land the clock exactly like the oracle's Simulator.run(until=...):
         # remaining events (if any) lie strictly beyond the horizon.
@@ -498,8 +662,16 @@ class ArrayMLoRaSimulation:
         scheme = self._scheme
         topology = self.scenario.topology
 
+        position = None
+        if not self._exact_topology and (
+            gateways_in_range is None or self._uses_forwarding
+        ):
+            # The caller established the device is active, so the exact
+            # position exists; it is shared by the gateway disc query and the
+            # vectorized overhear candidacy below.
+            position = self._traces[index].position_at(now)
         if gateways_in_range is None:
-            gateways_in_range = self._gateways_in_range(index, now)
+            gateways_in_range = self._gateways_in_range(index, now, position)
         sink_capacity = 0.0
         for _, link in gateways_in_range:
             if link.capacity_bps > sink_capacity:
@@ -520,15 +692,23 @@ class ArrayMLoRaSimulation:
                 rssi_by_receiver[gateway_id] = link.rssi_dbm
         overhearers: Dict[str, float] = {}
         if self._uses_forwarding:
-            for neighbour_id, link in topology.neighbours(device.device_id, now):
-                neighbour = self.scenario.devices[neighbour_id]
-                if (
-                    neighbour.channel == device.channel
-                    and neighbour.spreading_factor == device.spreading_factor
-                    and neighbour.is_listening(now)
-                ):
-                    rssi_by_receiver[neighbour_id] = link.rssi_dbm
-                    overhearers[neighbour_id] = link.rssi_dbm
+            if position is not None:
+                self._collect_overhearers(
+                    index, device, now, position, rssi_by_receiver, overhearers
+                )
+            else:
+                # Shadowing: every link computation draws from the shadowing
+                # stream, so the spatial queries must replay the oracle's
+                # exact sequence.
+                for neighbour_id, link in topology.neighbours(device.device_id, now):
+                    neighbour = self.scenario.devices[neighbour_id]
+                    if (
+                        neighbour.channel == device.channel
+                        and neighbour.spreading_factor == device.spreading_factor
+                        and neighbour.is_listening(now)
+                    ):
+                        rssi_by_receiver[neighbour_id] = link.rssi_dbm
+                        overhearers[neighbour_id] = link.rssi_dbm
 
         transmission: Optional[Transmission] = None
         if rssi_by_receiver:
@@ -551,6 +731,100 @@ class ArrayMLoRaSimulation:
             _COMPLETION,
             (index, packet, transmission, overhearers),
         )
+
+    def _collect_overhearers(
+        self,
+        index: int,
+        device: EndDevice,
+        now: float,
+        position,
+        rssi_by_receiver: Dict[str, float],
+        overhearers: Dict[str, float],
+    ) -> None:
+        """Batched replica of the oracle's per-slot neighbour query.
+
+        One vectorized disc test over the fleet's tick positions (a strict
+        superset of the oracle's range query, pre-masked by channel, SF,
+        overhear capability and active span) yields the candidate indices in
+        device insertion order — the order ``topology.neighbours`` reports
+        them.  Each survivor then runs the exact scalar arithmetic of
+        ``position_at`` + ``_link_state``: same interpolation, same
+        ``math.hypot`` distance, same path-loss call with no RNG, so the
+        surviving (receiver, RSSI) pairs are bit-identical to the oracle's.
+        """
+        tick = int(now // self._tick_s)
+        if tick != self._current_tick:
+            self._refresh_tick(tick)
+        key = (device.channel, int(device.spreading_factor))
+        base = self._tick_rx_masks.get(key)
+        if base is None:
+            static = self._rx_static_masks.get(key)
+            if static is None:
+                static = (
+                    self._overhear_capable
+                    & (self._channels_arr == key[0])
+                    & (self._sf_arr == key[1])
+                )
+                self._rx_static_masks[key] = static
+            base = static & self._tick_active_sup
+            self._tick_rx_masks[key] = base
+        px = position.x
+        py = position.y
+        dx = self._tick_x[tick] - px
+        dy = self._tick_y[tick] - py
+        candidates = np.flatnonzero(((dx * dx + dy * dy) <= self._dev_reach_sq) & base)
+        if not candidates.size:
+            return
+        trace_starts = self._trace_start
+        trace_ends = self._trace_end
+        times_by_device = self._trace_times
+        xs_by_device = self._trace_xs
+        ys_by_device = self._trace_ys
+        hypot = math.hypot
+        received_power = self._received_power
+        tx_power = self._tx_power
+        device_range = self._device_range
+        # Transmitter-side capacity model decides connectivity: for the stock
+        # linear model that is a strict RSSI-floor comparison.
+        rssi_min = self._cap_rssi_min[index]
+        model = self._cap_models[index] if rssi_min is None else None
+        always_listening = self._always_listening
+        devices = self._devices
+        device_ids = self._device_ids
+        for j in candidates.tolist():
+            if j == index or not (trace_starts[j] <= now <= trace_ends[j]):
+                continue
+            times = times_by_device[j]
+            xs = xs_by_device[j]
+            ys = ys_by_device[j]
+            if now >= times[-1]:
+                ox = xs[-1]
+                oy = ys[-1]
+            elif now <= times[0]:
+                ox = xs[0]
+                oy = ys[0]
+            else:
+                k = bisect_right(times, now)
+                t0 = times[k - 1]
+                f = (now - t0) / (times[k] - t0)
+                x0 = xs[k - 1]
+                ox = x0 + (xs[k] - x0) * f
+                y0 = ys[k - 1]
+                oy = y0 + (ys[k] - y0) * f
+            distance = hypot(px - ox, py - oy)
+            if distance > device_range:
+                continue
+            rssi = received_power(tx_power, distance, None)
+            if rssi_min is not None:
+                if not rssi > rssi_min:
+                    continue
+            elif not model.capacity_bps(rssi) > 0.0:
+                continue
+            if not always_listening[j] and not devices[j].is_listening(now):
+                continue
+            neighbour_id = device_ids[j]
+            rssi_by_receiver[neighbour_id] = rssi
+            overhearers[neighbour_id] = rssi
 
     def _airtime_s(self, payload_bytes: int, spreading_factor) -> float:
         key = (payload_bytes, spreading_factor)
@@ -599,7 +873,10 @@ class ArrayMLoRaSimulation:
         device = self._devices[index]
         now = self.now
 
-        delivered_gateway = self._resolve_gateway_reception(transmission)
+        # The frame's overlap window is scanned once and shared by the
+        # gateway reception pass and every overhearer's received-check.
+        overlaps = None if transmission is None else self._bucket_overlaps(transmission)
+        delivered_gateway = self._resolve_gateway_reception(transmission, overlaps)
         if delivered_gateway is not None:
             ack = self.server.process_uplink(packet, delivered_gateway, now)
             self.scenario.gateways[delivered_gateway].receive(packet)
@@ -612,10 +889,116 @@ class ArrayMLoRaSimulation:
                 self._schedule_attempt(index, device.next_transmission_time)
 
         if self._uses_forwarding:
-            self._resolve_overhearing(device, packet, transmission, overhearers)
+            self._resolve_overhearing(device, packet, transmission, overhearers, overlaps)
+
+    def _resolve_completion_group(self, time: float, first_payload) -> None:
+        """Relaxed-order slot batching: one pass over completions tied at ``time``.
+
+        Synchronized fleets (many devices generating on the same period from
+        the same start) complete whole waves of transmissions at the same
+        instant.  This pass pops the maximal run of same-time completions
+        whose participant sets (sender plus overhearers) are pairwise
+        disjoint and resolves them together, with a *single*
+        ``on_overhear_batch`` call across all members.
+
+        Exactness: same-time groups are safe unconditionally.  Every event
+        pushed while resolving carries ``time`` or later with attempt
+        priority, so it pops after all same-time completions in both engines;
+        handover frames registered mid-group start exactly at the members'
+        shared end time and therefore never overlap any member's frame; and
+        participant disjointness plus receiver-local decisions mean no
+        member's decision reads state another member's resolution mutates.
+        Gateway receptions run in original pop order, preserving the
+        reception RNG stream draw-for-draw.
+        """
+        heap = self._heap
+        device_ids = self._device_ids
+        members = [first_payload]
+        participants = set(first_payload[3])
+        participants.add(device_ids[first_payload[0]])
+        while heap and heap[0][0] == time and heap[0][3] == _COMPLETION:
+            payload = heap[0][4]
+            incoming = set(payload[3])
+            incoming.add(device_ids[payload[0]])
+            if incoming & participants:
+                break
+            heappop(heap)
+            participants |= incoming
+            members.append(payload)
+        if len(members) == 1:
+            self._on_uplink_complete(first_payload)
+            return
+
+        # Phase 1 — per member: shared overlap scan and received-filter for
+        # its overhearers (reads only).
+        scheme = self._scheme
+        devices = self.scenario.devices
+        topology = self.scenario.topology
+        all_packets: List = []
+        all_receivers: List[EndDevice] = []
+        all_rssi: List[float] = []
+        all_models: List = []
+        member_slices: List[Tuple[int, int]] = []
+        member_overlaps: List[Optional[List[Dict[str, float]]]] = []
+        for index, packet, transmission, overhearers in members:
+            begin = len(all_receivers)
+            overlaps = None
+            if transmission is not None:
+                overlaps = self._bucket_overlaps(transmission)
+                if overhearers:
+                    model = topology.capacity_model_for(device_ids[index])
+                    for neighbour_id, rssi in overhearers.items():
+                        if self._received_with(overlaps, neighbour_id, rssi):
+                            all_packets.append(packet)
+                            all_receivers.append(devices[neighbour_id])
+                            all_rssi.append(rssi)
+                            all_models.append(model)
+            member_slices.append((begin, len(all_receivers)))
+            member_overlaps.append(overlaps)
+
+        # Phase 2 — one batched forwarding-decision call for the whole group.
+        decisions: List = []
+        if all_receivers:
+            decisions = scheme.on_overhear_batch(
+                all_packets,
+                all_receivers,
+                all_rssi,
+                all_models,
+                [time] * len(all_receivers),
+            )
+
+        # Phase 3 — per member in pop order: gateway reception (identical
+        # RNG discipline), then that member's handovers.
+        for m, (begin, end) in enumerate(member_slices):
+            index, packet, transmission, _ = members[m]
+            device = self._devices[index]
+            delivered_gateway = self._resolve_gateway_reception(
+                transmission, member_overlaps[m]
+            )
+            if delivered_gateway is not None:
+                ack = self.server.process_uplink(packet, delivered_gateway, time)
+                self.scenario.gateways[delivered_gateway].receive(packet)
+                device.on_acknowledged(ack.acked_message_ids)
+                if device.has_data():
+                    self._schedule_attempt(index, device.next_transmission_time)
+            else:
+                retry_allowed = device.on_uplink_failed()
+                if retry_allowed and device.has_data():
+                    self._schedule_attempt(index, device.next_transmission_time)
+            for position in range(begin, end):
+                decision = decisions[position]
+                if decision.forward:
+                    self._perform_handover(
+                        all_receivers[position],
+                        device,
+                        decision.message_limit,
+                        decision.copy,
+                    )
 
     def _resolve_gateway_reception(
-        self, transmission: Optional[Transmission]
+        self,
+        transmission: Optional[Transmission],
+        overlaps: Optional[List[Dict[str, float]]] = None,
     ) -> Optional[str]:
         """Replica of ``RadioMedium.resolve_gateway_reception`` over buckets.
 
@@ -626,6 +1009,8 @@ class ArrayMLoRaSimulation:
         """
         if transmission is None:
             return None
+        if overlaps is None:
+            overlaps = self._bucket_overlaps(transmission)
         gateways = self.scenario.gateways
         candidates = [
             (rssi, receiver)
@@ -636,7 +1021,7 @@ class ArrayMLoRaSimulation:
         if len(candidates) > 1:
             candidates.sort(reverse=True)
         for rssi, gateway_id in candidates:
-            if not self._bucket_is_received(transmission, gateway_id):
+            if not self._received_with(overlaps, gateway_id, rssi):
                 continue
             if quality.frame_received(rssi, self._reception_rng):
                 return gateway_id
@@ -659,16 +1044,15 @@ class ArrayMLoRaSimulation:
             )
         bucket[0].append(transmission)
 
-    def _bucket_is_received(self, transmission: Transmission, receiver: str) -> bool:
-        """Replica of ``CollisionModel.is_received`` over this frame's bucket.
+    def _bucket_overlaps(self, transmission: Transmission) -> List[Dict[str, float]]:
+        """RSSI maps of every registered frame overlapping ``transmission``.
 
-        Frames in other buckets never overlap (different channel or SF), and
-        bucket entries wholly before the live window are skipped via the head
-        pointer — neither can change the verdict.
+        One scan per completed frame, shared by the gateway reception pass
+        and all overhearer received-checks.  Frames in other buckets never
+        overlap (different channel or SF), and bucket entries wholly before
+        the live window are skipped via the monotone head pointer — neither
+        can change any verdict.
         """
-        rssi = transmission.rssi_by_receiver.get(receiver)
-        if rssi is None or rssi == float("-inf"):
-            return False
         key = (transmission.channel, int(transmission.spreading_factor))
         bucket = self._buckets[key]
         entries, head = bucket
@@ -681,17 +1065,38 @@ class ArrayMLoRaSimulation:
         bucket[1] = head
         start = transmission.start_time
         end = transmission.end_time
+        overlaps: List[Dict[str, float]] = []
         for i in range(head, len(entries)):
             other = entries[i]
-            if other is transmission:
+            if (
+                other is not transmission
+                and other.start_time < end
+                and start < other.end_time
+            ):
+                overlaps.append(other.rssi_by_receiver)
+        return overlaps
+
+    def _received_with(
+        self, overlaps: List[Dict[str, float]], receiver: str, rssi: float
+    ) -> bool:
+        """``CollisionModel.is_received`` for one receiver over a shared scan."""
+        if rssi == _NEG_INF:
+            return False
+        threshold = self._capture_threshold
+        for other_rssi_map in overlaps:
+            other_rssi = other_rssi_map.get(receiver)
+            if other_rssi is None or other_rssi == _NEG_INF:
                 continue
-            if other.start_time < end and start < other.end_time:
-                other_rssi = other.rssi_by_receiver.get(receiver)
-                if other_rssi is None or other_rssi == float("-inf"):
-                    continue
-                if rssi - other_rssi < self._capture_threshold:
-                    return False
+            if rssi - other_rssi < threshold:
+                return False
         return True
+
+    def _bucket_is_received(self, transmission: Transmission, receiver: str) -> bool:
+        """Single-receiver convenience over :meth:`_bucket_overlaps`."""
+        rssi = transmission.rssi_by_receiver.get(receiver)
+        if rssi is None:
+            return False
+        return self._received_with(self._bucket_overlaps(transmission), receiver, rssi)
 
     # ------------------------------------------------------------------ #
     # Overhearing and handovers
@@ -702,22 +1107,59 @@ class ArrayMLoRaSimulation:
         packet,
         transmission: Optional[Transmission],
         overhearers: Dict[str, float],
+        overlaps: Optional[List[Dict[str, float]]] = None,
     ) -> None:
+        """Forwarding decisions + handovers for one completed transmission.
+
+        Schemes that override ``on_overhear_batch`` get all surviving
+        receivers in one call, then the handovers run in the same receiver
+        order the scalar loop used.  Deciding first and handing over after is
+        exact for receiver-local schemes: each receiver appears once per
+        transmission, decisions read only that receiver's state plus the
+        immutable packet snapshot, and no decision consumes RNG — so neither
+        the verdicts nor the draw/push sequence can differ from the
+        interleaved loop.  Schemes that keep the base-class hook take the
+        scalar interleaved path unchanged.
+        """
+        if transmission is None or not overhearers:
+            return
+        if overlaps is None:
+            overlaps = self._bucket_overlaps(transmission)
         now = self.now
         scheme = self._scheme
+        devices = self.scenario.devices
         capacity_model = self.scenario.topology.capacity_model_for(sender.device_id)
+        if not self._batch_decide:
+            for neighbour_id, rssi in overhearers.items():
+                if not self._received_with(overlaps, neighbour_id, rssi):
+                    continue
+                neighbour = devices[neighbour_id]
+                decision = scheme.on_overhear(
+                    neighbour, packet, rssi, capacity_model, now
+                )
+                if not decision.forward:
+                    continue
+                self._perform_handover(
+                    neighbour, sender, decision.message_limit, decision.copy
+                )
+            return
+        receivers: List[EndDevice] = []
+        rssis: List[float] = []
         for neighbour_id, rssi in overhearers.items():
-            neighbour = self.scenario.devices[neighbour_id]
-            if transmission is None or not self._bucket_is_received(
-                transmission, neighbour_id
-            ):
-                continue
-            decision = scheme.on_overhear(neighbour, packet, rssi, capacity_model, now)
-            if not decision.forward:
-                continue
-            self._perform_handover(
-                neighbour, sender, decision.message_limit, decision.copy
-            )
+            if self._received_with(overlaps, neighbour_id, rssi):
+                receivers.append(devices[neighbour_id])
+                rssis.append(rssi)
+        if not receivers:
+            return
+        count = len(receivers)
+        decisions = scheme.on_overhear_batch(
+            [packet] * count, receivers, rssis, [capacity_model] * count, [now] * count
+        )
+        for receiver, decision in zip(receivers, decisions):
+            if decision.forward:
+                self._perform_handover(
+                    receiver, sender, decision.message_limit, decision.copy
+                )
 
     def _perform_handover(
         self, giver: EndDevice, taker: EndDevice, limit: int, copy: bool

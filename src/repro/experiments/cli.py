@@ -356,6 +356,25 @@ def _cmd_docs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the bench helpers pull in both
+    # engines, which list/describe/docs invocations never need.
+    from repro.experiments.bench import format_ladder_table, run_ladder
+
+    if args.scheme not in scheme_names():
+        raise CLIError(
+            f"unknown scheme {args.scheme!r}; available: {', '.join(scheme_names())}"
+        )
+    for fraction in args.fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise CLIError(f"fleet fractions must be in (0, 1], got {fraction}")
+    rows = run_ladder(
+        scheme=args.scheme, fractions=args.fractions, rounds=args.rounds
+    )
+    print(format_ladder_table(rows, args.scheme))
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------- #
@@ -480,6 +499,25 @@ def build_parser() -> argparse.ArgumentParser:
     docs.add_argument("--path", default=str(SCENARIOS_DOC_PATH),
                       help=f"catalogue location (default: {SCENARIOS_DOC_PATH})")
     docs.set_defaults(func=_cmd_docs)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the object-vs-array engine ladder locally (urban-full fleet)",
+    )
+    bench.add_argument(
+        "--scheme", default="no-routing",
+        help=f"forwarding scheme to time ({', '.join(scheme_names())})",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=1, metavar="N",
+        help="rounds per engine and ladder point, best-of-N (default: 1)",
+    )
+    bench.add_argument(
+        "--fractions", type=float, nargs="+", default=[0.25, 0.5, 1.0],
+        metavar="F",
+        help="fleet fractions of the 960-bus fleet to ladder (default: 0.25 0.5 1.0)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -18,7 +18,36 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, List, Mapping, Tuple
 
+import numpy as np
+
 from repro.mobility.geometry import Point
+
+#: Absolute slack (metres) added to vectorized range tests so the squared
+#: distance comparison is a strict superset of the scalar ``math.hypot`` disc.
+#: Sub-micrometre rounding is the worst case at realistic coordinates, so a
+#: micrometre of slack over-covers by orders of magnitude while admitting no
+#: meaningfully-out-of-range pair.
+RANGE_MASK_SLACK_M = 1e-6
+
+
+def pairwise_in_range_mask(xs: np.ndarray, ys: np.ndarray, range_m: float) -> np.ndarray:
+    """Boolean (n, n) mask of point pairs within ``range_m`` of each other.
+
+    Computed on squared distances with :data:`RANGE_MASK_SLACK_M` of slack, so
+    the ``True`` entries form a superset of the pairs whose exact
+    ``math.hypot`` distance is ``<= range_m`` — callers that need exactness
+    re-check survivors with the scalar arithmetic.  The diagonal is cleared.
+    """
+    if range_m < 0:
+        raise ValueError(f"range_m must be non-negative, got {range_m}")
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    dx = xs[:, None] - xs[None, :]
+    dy = ys[:, None] - ys[None, :]
+    reach = range_m + RANGE_MASK_SLACK_M
+    mask = (dx * dx + dy * dy) <= reach * reach
+    np.fill_diagonal(mask, False)
+    return mask
 
 
 class UniformGridIndex:

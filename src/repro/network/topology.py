@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.mobility.geometry import Point
 from repro.network.node import DeviceNode, SinkNode
-from repro.network.spatial import UniformGridIndex
+from repro.network.spatial import UniformGridIndex, pairwise_in_range_mask
 from repro.phy.constants import DEFAULT_TX_POWER_DBM, SpreadingFactor
 from repro.phy.link import LinkCapacityModel
 from repro.phy.pathloss import LogDistancePathLoss, PathLossModel
@@ -322,13 +322,29 @@ class TimeVaryingTopology:
         return self.device_link(x, y, time).connected
 
     def connectivity_matrix(self, time: float) -> Dict[str, Dict[str, float]]:
-        """The capacity matrix C(t) restricted to device-to-device links (sparse dict form)."""
+        """The capacity matrix C(t) restricted to device-to-device links (sparse dict form).
+
+        Candidate pairs are pruned with a vectorized squared-distance mask (a
+        strict superset of the exact in-range pairs), then each surviving
+        ``(i < j)`` pair goes through the unchanged scalar
+        :meth:`device_link` in the same row-major order as the full double
+        loop.  Pairs dropped by the mask are out of range and never draw
+        shadowing randomness, so the pruning changes neither the result nor
+        the RNG stream.
+        """
         matrix: Dict[str, Dict[str, float]] = {}
         ids = self.active_devices(time)
-        for i, x in enumerate(ids):
-            for y in ids[i + 1:]:
-                state = self.device_link(x, y, time)
-                if state.connected:
-                    matrix.setdefault(x, {})[y] = state.capacity_bps
-                    matrix.setdefault(y, {})[x] = state.capacity_bps
+        if len(ids) < 2:
+            return matrix
+        positions = [self.devices[x].position_at(time) for x in ids]
+        xs = np.array([p.x for p in positions], dtype=float)
+        ys = np.array([p.y for p in positions], dtype=float)
+        mask = pairwise_in_range_mask(xs, ys, self.config.device_range_m)
+        rows, cols = np.nonzero(np.triu(mask, k=1))
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            x, y = ids[i], ids[j]
+            state = self.device_link(x, y, time)
+            if state.connected:
+                matrix.setdefault(x, {})[y] = state.capacity_bps
+                matrix.setdefault(y, {})[x] = state.capacity_bps
         return matrix

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.mac.device import EndDevice
 from repro.mac.frames import UplinkPacket
@@ -39,7 +40,13 @@ class ForwardingDecision:
     @staticmethod
     def no() -> "ForwardingDecision":
         """The 'keep everything' decision."""
-        return ForwardingDecision(forward=False, message_limit=0)
+        return NO_DECISION
+
+
+#: The shared 'keep everything' decision.  ForwardingDecision is frozen, so
+#: one instance can serve every negative verdict — the overhear hot path
+#: produces millions of them per large run.
+NO_DECISION = ForwardingDecision(forward=False, message_limit=0)
 
 
 class ForwardingScheme(ABC):
@@ -65,6 +72,40 @@ class ForwardingScheme(ABC):
         now: float,
     ) -> ForwardingDecision:
         """Decide whether ``receiver`` should hand data to the packet's sender."""
+
+    def on_overhear_batch(
+        self,
+        packets: Sequence[UplinkPacket],
+        receivers: Sequence[EndDevice],
+        rssi_dbm: Sequence[float],
+        capacity_models: Sequence[LinkCapacityModel],
+        nows: Sequence[float],
+    ) -> List[ForwardingDecision]:
+        """Decide a whole batch of overheard (sender, receiver) pairs at once.
+
+        All five arguments are parallel sequences, one entry per overheard
+        pair: ``packets[k]`` is the uplink ``receivers[k]`` overheard at RSSI
+        ``rssi_dbm[k]`` (transmitter-side capacity model
+        ``capacity_models[k]``) at time ``nows[k]``.  A batch spans one
+        transmission — or, under relaxed-order slot batching, several
+        *independent* same-tick transmissions — so a receiver appears at most
+        once per transmission and decisions may be computed in any order.
+
+        The engine only calls this hook when a scheme overrides it; schemes
+        that do not are driven through :meth:`on_overhear` one pair at a
+        time, interleaved with the resulting handovers exactly as before, so
+        custom registered schemes keep working unchanged.  Override it when
+        the scheme's decisions are independent across the receivers of one
+        transmission (true for all built-in schemes); the override must leave
+        scheme state exactly as the equivalent :meth:`on_overhear` loop
+        would.  This default implementation is that loop.
+        """
+        return [
+            self.on_overhear(receiver, packet, rssi, model, now)
+            for packet, receiver, rssi, model, now in zip(
+                packets, receivers, rssi_dbm, capacity_models, nows
+            )
+        ]
 
     def observe_transmission_slot(
         self, device_id: str, gateway_connected: bool, now: float

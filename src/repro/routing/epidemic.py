@@ -9,10 +9,12 @@ trade-off in the same harness.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.mac.device import EndDevice
 from repro.mac.frames import UplinkPacket
 from repro.phy.link import LinkCapacityModel
-from repro.routing.base import ForwardingDecision, ForwardingScheme
+from repro.routing.base import NO_DECISION, ForwardingDecision, ForwardingScheme
 
 
 class EpidemicScheme(ForwardingScheme):
@@ -39,3 +41,30 @@ class EpidemicScheme(ForwardingScheme):
             return ForwardingDecision.no()
         limit = min(self.max_handover_messages, receiver.queue_length())
         return ForwardingDecision(forward=True, message_limit=limit, copy=True)
+
+    def on_overhear_batch(
+        self,
+        packets: Sequence[UplinkPacket],
+        receivers: Sequence[EndDevice],
+        rssi_dbm: Sequence[float],
+        capacity_models: Sequence[LinkCapacityModel],
+        nows: Sequence[float],
+    ) -> List[ForwardingDecision]:
+        """Batched :meth:`on_overhear`: epidemic replication reads only each
+        receiver's queue length, so the batch is a plain hoisted loop."""
+        max_handover = self.max_handover_messages
+        decisions: List[ForwardingDecision] = []
+        append = decisions.append
+        for receiver in receivers:
+            queued = len(receiver.queue)
+            if queued:
+                append(
+                    ForwardingDecision(
+                        forward=True,
+                        message_limit=queued if queued < max_handover else max_handover,
+                        copy=True,
+                    )
+                )
+            else:
+                append(NO_DECISION)
+        return decisions

@@ -25,12 +25,12 @@ firmware would keep per device, same as the spray-and-wait ticket attribute.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.mac.device import EndDevice
 from repro.mac.frames import UplinkPacket
 from repro.phy.link import LinkCapacityModel
-from repro.routing.base import ForwardingDecision, ForwardingScheme
+from repro.routing.base import NO_DECISION, ForwardingDecision, ForwardingScheme
 
 
 class ProphetScheme(ForwardingScheme):
@@ -110,3 +110,47 @@ class ProphetScheme(ForwardingScheme):
             return ForwardingDecision.no()
         limit = min(self.max_handover_messages, receiver.queue_length())
         return ForwardingDecision(forward=True, message_limit=limit, copy=True)
+
+    def on_overhear_batch(
+        self,
+        packets: Sequence[UplinkPacket],
+        receivers: Sequence[EndDevice],
+        rssi_dbm: Sequence[float],
+        capacity_models: Sequence[LinkCapacityModel],
+        nows: Sequence[float],
+    ) -> List[ForwardingDecision]:
+        """Batched :meth:`on_overhear` preserving the exact table-update order.
+
+        Pairs are processed in sequence order, so every aging/transitive
+        update to the predictability table happens at the same ``now`` and in
+        the same order as the scalar loop: the sender is aged once at its
+        first pair (repeat pairs of the same transmission re-age with
+        ``Δt = 0``, a no-op), and each receiver — which appears at most once
+        per batch — gets its transitive update exactly where the scalar path
+        applies it.
+        """
+        predictability = self.predictability
+        beta = self.beta
+        max_handover = self.max_handover_messages
+        decisions: List[ForwardingDecision] = []
+        append = decisions.append
+        for packet, receiver, now in zip(packets, receivers, nows):
+            sender_pred = predictability(packet.sender, now)
+            receiver_id = receiver.device_id
+            receiver_pred = predictability(receiver_id, now)
+            transitive = sender_pred * beta
+            if transitive > receiver_pred:
+                self._predictability[receiver_id] = transitive
+                self._last_update[receiver_id] = now
+            queued = len(receiver.queue)
+            if not queued or sender_pred <= receiver_pred:
+                append(NO_DECISION)
+                continue
+            append(
+                ForwardingDecision(
+                    forward=True,
+                    message_limit=min(max_handover, queued),
+                    copy=True,
+                )
+            )
+        return decisions

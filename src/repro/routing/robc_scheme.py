@@ -12,13 +12,14 @@ all but is kept explicit for unit-level robustness.
 from __future__ import annotations
 
 import math
+from typing import List, Sequence
 
 from repro.core.rgq import RealTimeGatewayQuality
 from repro.core.robc import robc_transfer_amount
 from repro.mac.device import EndDevice
 from repro.mac.frames import UplinkPacket
 from repro.phy.link import LinkCapacityModel
-from repro.routing.base import ForwardingDecision, ForwardingScheme
+from repro.routing.base import NO_DECISION, ForwardingDecision, ForwardingScheme
 
 
 class ROBCScheme(ForwardingScheme):
@@ -66,3 +67,69 @@ class ROBCScheme(ForwardingScheme):
         if limit <= 0:
             return ForwardingDecision.no()
         return ForwardingDecision(forward=True, message_limit=limit)
+
+    def on_overhear_batch(
+        self,
+        packets: Sequence[UplinkPacket],
+        receivers: Sequence[EndDevice],
+        rssi_dbm: Sequence[float],
+        capacity_models: Sequence[LinkCapacityModel],
+        nows: Sequence[float],
+    ) -> List[ForwardingDecision]:
+        """Batched :meth:`on_overhear`: same arithmetic, hoisted ϕ clamping.
+
+        ROBC reads only the receiver's queue/estimator and the packet
+        snapshot, so decisions are independent across the receivers of one
+        transmission — exactly the batch-hook contract.  The ϕ bounds and the
+        backpressure weight/δ are computed inline in the identical operation
+        order as :func:`~repro.core.robc.robc_transfer_amount`, which keeps
+        the verdicts bit-identical to the scalar path.
+        """
+        phi_min = self.rgq.phi_min
+        phi_max = self.rgq.phi_max
+        max_handover = self.max_handover_messages
+        floor = math.floor
+        decisions: List[ForwardingDecision] = []
+        append = decisions.append
+        for packet, receiver, rssi, model in zip(
+            packets, receivers, rssi_dbm, capacity_models
+        ):
+            neighbour_metric = packet.rca_etx_s
+            neighbour_queue = packet.queue_length
+            if neighbour_metric is None or neighbour_queue is None:
+                append(NO_DECISION)
+                continue
+            own_queue = len(receiver.queue)
+            if not own_queue:
+                append(NO_DECISION)
+                continue
+            if not model.is_connected(rssi):
+                append(NO_DECISION)
+                continue
+            own_metric = receiver.rca_etx.sink_metric()
+            phi_own = (
+                phi_max
+                if own_metric == 0
+                else min(max(1.0 / own_metric, phi_min), phi_max)
+            )
+            phi_neighbour = (
+                phi_max
+                if neighbour_metric == 0
+                else min(max(1.0 / neighbour_metric, phi_min), phi_max)
+            )
+            own_q = float(own_queue)
+            neighbour_q = float(neighbour_queue)
+            if own_q / phi_own - neighbour_q / phi_neighbour <= 0:
+                append(NO_DECISION)
+                continue
+            delta = own_q - neighbour_q * (phi_own / phi_neighbour)
+            messages = int(floor(min(max(delta, 0.0), own_q)))
+            if messages <= 0:
+                append(NO_DECISION)
+                continue
+            limit = min(messages, max_handover, own_queue)
+            if limit <= 0:
+                append(NO_DECISION)
+                continue
+            append(ForwardingDecision(forward=True, message_limit=limit))
+        return decisions

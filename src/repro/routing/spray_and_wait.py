@@ -13,10 +13,12 @@ baseline-specific fields.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.mac.device import EndDevice
 from repro.mac.frames import DataMessage, UplinkPacket
 from repro.phy.link import LinkCapacityModel
-from repro.routing.base import ForwardingDecision, ForwardingScheme
+from repro.routing.base import NO_DECISION, ForwardingDecision, ForwardingScheme
 
 _TICKET_ATTRIBUTE = "spray_tickets"
 
@@ -82,3 +84,43 @@ class SprayAndWaitScheme(ForwardingScheme):
             return ForwardingDecision.no()
         limit = min(sprayable, self.max_handover_messages)
         return ForwardingDecision(forward=True, message_limit=limit, copy=True)
+
+    def on_overhear_batch(
+        self,
+        packets: Sequence[UplinkPacket],
+        receivers: Sequence[EndDevice],
+        rssi_dbm: Sequence[float],
+        capacity_models: Sequence[LinkCapacityModel],
+        nows: Sequence[float],
+    ) -> List[ForwardingDecision]:
+        """Batched :meth:`on_overhear` with the ticket scan inlined.
+
+        Each decision reads (and lazily initialises) tickets only on the
+        receiver's own queued messages, so decisions are independent across
+        the receivers of one transmission.  Ticket *splitting* happens later,
+        in the handover itself, exactly as on the scalar path.
+        """
+        initial = self.initial_copies
+        max_handover = self.max_handover_messages
+        decisions: List[ForwardingDecision] = []
+        append = decisions.append
+        for receiver in receivers:
+            sprayable = 0
+            for message in receiver.queue.peek_all():
+                tickets = getattr(message, _TICKET_ATTRIBUTE, None)
+                if tickets is None:
+                    tickets = initial
+                    setattr(message, _TICKET_ATTRIBUTE, tickets)
+                if tickets > 1:
+                    sprayable += 1
+            if sprayable <= 0:
+                append(NO_DECISION)
+            else:
+                append(
+                    ForwardingDecision(
+                        forward=True,
+                        message_limit=min(sprayable, max_handover),
+                        copy=True,
+                    )
+                )
+        return decisions

@@ -156,6 +156,20 @@ class TestSmoke:
         assert main(["docs", "--path", str(tmp_path / "scenarios.md")]) == 2
         assert "does not exist" in capsys.readouterr().err
 
+    def test_bench_invalid_inputs_fail_cleanly(self, capsys):
+        assert main(["bench", "--scheme", "typo", "--fractions", "0.1"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+        for bad in ("0", "1.5", "-0.25"):
+            assert main(["bench", "--fractions", bad]) == 2
+            assert "fleet fractions" in capsys.readouterr().err
+
+    def test_bench_prints_speedup_table(self, capsys):
+        # A tiny ladder point (~25 buses) keeps the two timed runs fast.
+        assert main(["bench", "--fractions", "0.026", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "scheme=no-routing" in out
+
     def test_sweep_out_of_range_scale_fails_cleanly(self, capsys):
         for bad in ("1.5", "0", "nan"):
             assert main(["sweep", "fig9", "--scale", bad]) == 2
