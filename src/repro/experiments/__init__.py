@@ -6,9 +6,17 @@
   time-varying topology from a configuration.
 * :mod:`repro.experiments.runner` — the event-driven MLoRa-SS simulation
   engine that executes one run and returns :class:`repro.analysis.RunMetrics`.
-* :mod:`repro.experiments.parallel` — the :class:`SweepExecutor` that runs
-  batches of independent runs serially or over worker processes, with
-  deterministic per-run seed derivation and on-disk result caching.
+* :mod:`repro.experiments.parallel` — the :class:`SweepExecutor` campaign
+  engine: batches of independent runs over a pluggable execution backend,
+  with deterministic per-run seed derivation, store-on-completion caching,
+  per-run retry and per-spec failure outcomes.
+* :mod:`repro.experiments.backends` — the execution backends (``serial``,
+  ``process-pool``, multi-host ``work-queue``) and their open registry.
+* :mod:`repro.experiments.store` — the content-addressed
+  :class:`ResultStore` of finished :class:`RunMetrics` with streaming
+  aggregation.
+* :mod:`repro.experiments.service` — the ``repro serve`` asyncio results
+  service (submit a scenario or digest, get cached metrics or a job handle).
 * :mod:`repro.experiments.sweeps` — parameter sweeps over gateway density,
   device range and schemes.
 * :mod:`repro.experiments.figures` — one entry point per paper figure
@@ -28,11 +36,15 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.parallel import (
     RunOutcome,
     RunSpec,
+    SweepExecutionError,
     SweepExecutor,
     derive_run_seed,
     replication_specs,
+    spec_from_dict,
+    spec_to_dict,
     sweep_specs,
 )
+from repro.experiments.store import MetricsAccumulator, ResultStore
 from repro.experiments.registry import (
     ScenarioPreset,
     SweepPreset,
@@ -78,8 +90,13 @@ __all__ = [
     "run_replications",
     "RunOutcome",
     "RunSpec",
+    "SweepExecutionError",
     "SweepExecutor",
+    "MetricsAccumulator",
+    "ResultStore",
     "derive_run_seed",
     "replication_specs",
+    "spec_from_dict",
+    "spec_to_dict",
     "sweep_specs",
 ]

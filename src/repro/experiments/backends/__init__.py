@@ -1,0 +1,50 @@
+"""Pluggable execution backends for the campaign engine.
+
+* :mod:`repro.experiments.backends.base` — the :class:`ExecutionBackend`
+  contract, :class:`RetryPolicy`/:class:`BackendOptions`, per-spec failure
+  outcomes and the open backend registry.
+* :mod:`repro.experiments.backends.serial` — in-process reference execution.
+* :mod:`repro.experiments.backends.process_pool` — single-machine fan-out
+  over a fork-based process pool.
+* :mod:`repro.experiments.backends.work_queue` — multi-worker (multi-host)
+  execution over a shared filesystem spool, driven by ``repro worker``.
+
+All backends are bit-identical on results: a run is fully determined by its
+:class:`~repro.experiments.config.ScenarioConfig`, so *where* it executes can
+never change *what* it computes (pinned by
+``tests/experiments/test_backends.py``).
+"""
+
+from repro.experiments.backends.base import (
+    BackendOptions,
+    ExecutionBackend,
+    RetryPolicy,
+    build_execution_backend,
+    execution_backend_names,
+    failure_outcome,
+    register_execution_backend,
+)
+from repro.experiments.backends.serial import SerialBackend
+from repro.experiments.backends.process_pool import ProcessPoolBackend
+from repro.experiments.backends.work_queue import (
+    WorkQueueBackend,
+    claim_next_job,
+    process_job,
+    run_worker,
+)
+
+__all__ = [
+    "BackendOptions",
+    "ExecutionBackend",
+    "RetryPolicy",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "WorkQueueBackend",
+    "build_execution_backend",
+    "claim_next_job",
+    "execution_backend_names",
+    "failure_outcome",
+    "process_job",
+    "register_execution_backend",
+    "run_worker",
+]

@@ -7,6 +7,9 @@ One console entry point over the whole experiment harness::
     repro run urban --workers 4          # run a preset (or a .json/.toml file)
     repro run urban --scheme rca-etx     # parameterized variant
     repro sweep fig9 --scale smoke       # reproduce a paper figure
+    repro sweep fig9 --backend work-queue --spool /shared/spool   # multi-host
+    repro worker /shared/spool           # process spool jobs (any host)
+    repro serve --cache cache/ --port 8765   # the always-on results service
     repro export urban urban.toml        # share a scenario as a file
     repro docs --check                   # verify docs/scenarios.md is current
 
@@ -28,6 +31,11 @@ from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from repro.engine import ENGINES
+from repro.experiments.backends import (
+    RetryPolicy,
+    execution_backend_names,
+    run_worker,
+)
 from repro.experiments.parallel import RunOutcome, RunSpec, SweepExecutor, config_digest
 from repro.experiments.registry import (
     SweepArtifact,
@@ -80,13 +88,26 @@ def _message(exc: BaseException) -> str:
 # Core operations (used by both the CLI and the equivalence tests)
 # --------------------------------------------------------------------- #
 def build_executor(
-    workers: Optional[int], cache_dir: Optional[str]
+    workers: Optional[int],
+    cache_dir: Optional[str],
+    backend: Optional[str] = None,
+    spool: Optional[str] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
 ) -> SweepExecutor:
-    """The executor implied by ``--workers``/``--cache`` (env fallback)."""
+    """The executor implied by the ``--workers``/``--cache``/``--backend``/
+    ``--spool``/``--retries``/``--timeout`` flags (env fallback)."""
     try:
+        retry = RetryPolicy(retries=retries, timeout_s=timeout)
         if workers is None:
-            return SweepExecutor.from_env(default_workers=1, cache_dir=cache_dir)
-        return SweepExecutor(workers=workers, cache_dir=cache_dir)
+            return SweepExecutor.from_env(
+                default_workers=1, cache_dir=cache_dir, backend=backend,
+                retry=retry, spool_dir=spool,
+            )
+        return SweepExecutor(
+            workers=workers, cache_dir=cache_dir, backend=backend,
+            retry=retry, spool_dir=spool,
+        )
     except ValueError as exc:
         raise CLIError(str(exc)) from exc
 
@@ -289,8 +310,19 @@ def _overrides_from(args: argparse.Namespace) -> dict:
     }
 
 
+def _executor_from(args: argparse.Namespace) -> SweepExecutor:
+    return build_executor(
+        args.workers,
+        args.cache,
+        backend=args.backend,
+        spool=args.spool,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    executor = build_executor(args.workers, args.cache)
+    executor = _executor_from(args)
     outcome = run_target(args.target, executor=executor, **_overrides_from(args))
     metrics = outcome.metrics
     config = outcome.spec.config
@@ -306,7 +338,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    executor = build_executor(args.workers, args.cache)
+    executor = _executor_from(args)
     artifact = run_sweep(args.figure, scale=args.scale, executor=executor)
     print(artifact.text)
     if args.out:
@@ -356,6 +388,52 @@ def _cmd_docs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    if args.max_jobs is not None and args.max_jobs < 1:
+        raise CLIError(f"--max-jobs must be >= 1, got {args.max_jobs}")
+    if args.idle_timeout is not None and args.idle_timeout <= 0:
+        raise CLIError(f"--idle-timeout must be positive, got {args.idle_timeout}")
+    processed = run_worker(
+        args.spool,
+        max_jobs=args.max_jobs,
+        idle_timeout_s=args.idle_timeout,
+        poll_interval_s=args.poll,
+    )
+    print(f"worker exit: processed {processed} job(s) from {args.spool}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: list/describe/run invocations never
+    # need the asyncio service machinery.
+    from repro.experiments.service import CampaignService
+
+    executor = _executor_from(args)
+    if executor.store is None:
+        # The service is a results service: without a store there is nothing
+        # durable to serve.  Default to an ephemeral store for ad-hoc use.
+        import tempfile
+
+        cache = tempfile.mkdtemp(prefix="repro-serve-")
+        executor = build_executor(
+            args.workers, cache, backend=args.backend, spool=args.spool,
+            retries=args.retries, timeout=args.timeout,
+        )
+        print(f"no --cache given; serving from ephemeral store {cache}")
+    try:
+        service = CampaignService(executor, host=args.host, port=args.port)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    print(
+        f"repro results service on http://{args.host}:{args.port} "
+        f"(backend {executor.backend.name}, store {executor.cache_dir})\n"
+        "endpoints: GET /health | POST /runs | GET /jobs/<id> | "
+        "GET /results/<cache-key> | GET /summary"
+    )
+    service.run_blocking()
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imported here, not at module top: the bench helpers pull in both
     # engines, which list/describe/docs invocations never need.
@@ -385,7 +463,25 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
-        help="on-disk RunMetrics cache directory shared across invocations",
+        help="on-disk RunMetrics store shared across invocations and hosts",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=execution_backend_names(),
+        help="execution backend (default: serial, or process-pool when "
+             "--workers > 1; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="shared spool directory of the work-queue backend "
+             "(serve jobs with `repro worker DIR` on any host)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed run, with bounded backoff (default 0)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per dispatched run (backend-enforced)",
     )
     parser.add_argument(
         "--out", default=None, metavar="DIR",
@@ -499,6 +595,32 @@ def build_parser() -> argparse.ArgumentParser:
     docs.add_argument("--path", default=str(SCENARIOS_DOC_PATH),
                       help=f"catalogue location (default: {SCENARIOS_DOC_PATH})")
     docs.set_defaults(func=_cmd_docs)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="process work-queue jobs from a shared spool directory",
+    )
+    worker.add_argument("spool", help="spool directory shared with the submitter(s)")
+    worker.add_argument("--max-jobs", type=int, default=None, dest="max_jobs",
+                        metavar="N", help="exit after processing N jobs")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        dest="idle_timeout", metavar="SECONDS",
+                        help="exit after this long without claimable work "
+                             "(default: serve forever)")
+    worker.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                        help="queue poll interval while idle (default 0.1)")
+    worker.set_defaults(func=_cmd_worker)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="always-on results service: POST scenarios, GET cached metrics",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default 8765)")
+    _add_executor_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     bench = subparsers.add_parser(
         "bench",

@@ -6,7 +6,11 @@ the benchmark harness and the ``repro sweep`` CLI print.  All of them take a
 :class:`ReproductionScale` so the same code serves CI smoke runs
 (:data:`SMOKE_SCALE`), quick benchmark runs (:data:`BENCHMARK_SCALE`) and
 larger offline campaigns (:data:`CAMPAIGN_SCALE`), and an optional
-:class:`SweepExecutor` for process-parallel, cache-served execution.
+:class:`SweepExecutor` for backend-parallel (process-pool or multi-host
+work-queue), cache-served execution.  The executor guarantees outcome
+completeness — the ``zip(keys, executor.run_metrics(specs))`` pattern used
+throughout is safe because ``run_metrics`` raises instead of ever returning
+fewer results than specs.
 """
 
 from __future__ import annotations

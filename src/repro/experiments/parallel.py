@@ -1,40 +1,65 @@
-"""Process-parallel sweep execution with deterministic seeds and caching.
+"""Campaign execution with deterministic seeds, durable caching and retry.
 
 Every figure of the paper's evaluation is a batch of independent simulation
 runs (scheme × gateway count × device range × seed).  :class:`SweepExecutor`
 is the single execution path for such batches: it takes picklable
-:class:`RunSpec` objects, runs them serially (``workers=1``) or over a
-``ProcessPoolExecutor``, optionally caches finished :class:`RunMetrics` on
-disk keyed by a configuration hash, and returns :class:`RunOutcome` objects
-in spec order.
+:class:`RunSpec` objects, dispatches the ones that are not already in its
+:class:`~repro.experiments.store.ResultStore` to a pluggable
+:class:`~repro.experiments.backends.ExecutionBackend` (``serial``,
+``process-pool``, or the multi-host ``work-queue``), persists each
+:class:`RunMetrics` *the moment its run finishes*, retries failures with
+bounded backoff, and returns :class:`RunOutcome` objects in spec order.
 
-Parallelism never changes results: each run is fully described by its
-:class:`~repro.experiments.config.ScenarioConfig` (including the master seed
-every random stream derives from), so the same spec produces bit-identical
-metrics no matter which process executes it.  ``tests/experiments/
-test_parallel.py`` pins this equivalence.
+Three properties make campaigns safe at scale:
+
+* **Parallelism never changes results** — each run is fully described by its
+  :class:`~repro.experiments.config.ScenarioConfig` (including the master
+  seed every random stream derives from), so the same spec produces
+  bit-identical metrics no matter which backend, process or host executes
+  it.  ``tests/experiments/test_backends.py`` pins the full equivalence
+  matrix.
+* **A crash loses nothing finished** — outcomes are stored as they complete,
+  so a failing sibling (or a dying submitter) never discards completed work;
+  re-running the same specs resumes from the store.
+* **Failures are per-spec, never batch-wide** — a run that still fails after
+  its retries becomes a failure outcome (``outcome.error``); by default
+  :meth:`SweepExecutor.run` raises :class:`SweepExecutionError` *after* the
+  rest of the batch completed and was cached.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.metrics import RunMetrics
 from repro.engine.config import EngineConfig
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
+from repro.experiments.serialization import scenario_from_dict, scenario_to_dict
+from repro.experiments.store import ResultStore
 from repro.mobility.config import MobilityConfig
 from repro.radio.config import RadioConfig
 from repro.routing.config import RoutingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends → parallel)
+    from repro.experiments.backends.base import ExecutionBackend, RetryPolicy
 
 #: The default radio/mobility/routing/engine sections, excluded from digests
 #: for cache stability (configurations that predate each subsystem keep
@@ -49,6 +74,9 @@ _SEED_SPACE = 2**63
 
 #: Environment knob for the default worker count of :meth:`SweepExecutor.from_env`.
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+#: Environment knob for the default backend of :meth:`SweepExecutor.from_env`.
+BACKEND_ENV_VAR = "REPRO_SWEEP_BACKEND"
 
 #: Part of every cache key.  Bump whenever simulation behaviour changes in a
 #: way that makes archived RunMetrics stale for an unchanged configuration —
@@ -79,14 +107,15 @@ def _trace_file_content_digest(path: str) -> str:
 
     A trace-file scenario is only fully described by the *contents* of the
     replayed file — the path alone would let an edited file silently replay
-    stale cached metrics.  An unreadable file gets a sentinel; the run itself
+    stale cached metrics.  An unreadable file gets a per-path sentinel (two
+    different broken paths must not collide on one cache key); the run itself
     will fail loudly later.
     """
     try:
         with open(path, "rb") as handle:
             return hashlib.sha256(handle.read()).hexdigest()
     except OSError:
-        return "unreadable"
+        return f"unreadable:{path}"
 
 
 def config_digest(config: ScenarioConfig) -> str:
@@ -154,14 +183,71 @@ class RunSpec:
         )
 
 
+def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
+    """The JSON wire format of a spec (work-queue jobs, the HTTP service).
+
+    Built on the digest-stable scenario serialization, so a spec that crosses
+    a process or host boundary resolves to the same cache key on both sides.
+    """
+    return {
+        "scenario": scenario_to_dict(spec.config),
+        "nominal_gateways": spec.nominal_gateways,
+        "replicate": spec.replicate,
+    }
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> RunSpec:
+    """Rebuild a :class:`RunSpec` from :func:`spec_to_dict` output."""
+    if "scenario" not in data:
+        raise ValueError("run spec payload is missing the 'scenario' table")
+    nominal = data.get("nominal_gateways")
+    return RunSpec(
+        config=scenario_from_dict(data["scenario"]),
+        nominal_gateways=None if nominal is None else int(nominal),
+        replicate=int(data.get("replicate", 0)),
+    )
+
+
 @dataclass
 class RunOutcome:
-    """A finished (or cache-served) run."""
+    """A finished, cache-served or failed run.
+
+    ``metrics`` is ``None`` exactly when ``error`` is set; :attr:`ok`
+    distinguishes the two without null checks at call sites.  ``attempts``
+    counts dispatches of this spec in the producing execution (1 = first try).
+    """
 
     spec: RunSpec
-    metrics: RunMetrics
+    metrics: Optional[RunMetrics]
     wall_time_s: float
     from_cache: bool = False
+    error: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True for a run that produced metrics (fresh or cached)."""
+        return self.error is None and self.metrics is not None
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised when runs still fail after retries (the batch itself finished).
+
+    Every *successful* sibling was stored before this is raised, so re-running
+    the same specs resumes from the cache and recomputes nothing.
+    """
+
+    def __init__(self, failures: Sequence[RunOutcome], total: int) -> None:
+        self.failures = list(failures)
+        preview = "; ".join(
+            f"{outcome.spec.key}: {outcome.error}" for outcome in self.failures[:3]
+        )
+        suffix = " …" if len(self.failures) > 3 else ""
+        super().__init__(
+            f"{len(self.failures)} of {total} runs failed after "
+            f"{self.failures[0].attempts} attempt(s): {preview}{suffix} "
+            "(completed runs are cached; re-running resumes without recomputation)"
+        )
 
 
 def execute_spec(spec: RunSpec) -> RunOutcome:
@@ -173,45 +259,89 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     return RunOutcome(spec=spec, metrics=metrics, wall_time_s=time.perf_counter() - start)
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # Fork keeps the parent's sys.path (the tests and benchmarks rely on a
-    # conftest path insert rather than an installed package); fall back to the
-    # platform default where fork does not exist.
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
-
-
 class SweepExecutor:
-    """Runs batches of :class:`RunSpec` serially or process-parallel.
+    """Runs batches of :class:`RunSpec` over a pluggable execution backend.
 
     Parameters
     ----------
     workers:
-        ``1`` executes in-process (the reference path used by equivalence
-        tests); ``n > 1`` fans runs out over ``n`` worker processes.
+        Sizes the default backend: ``1`` executes in-process over the
+        ``serial`` backend (the reference path used by equivalence tests);
+        ``n > 1`` fans runs out over a ``process-pool`` of ``n`` workers.
     cache_dir:
-        When set, finished metrics are pickled into this directory keyed by
-        :meth:`RunSpec.cache_key`, and later executions of the same spec are
-        served from disk.
+        When set, finished metrics live in a content-addressed
+        :class:`ResultStore` under this directory, keyed by
+        :meth:`RunSpec.cache_key`; later executions of the same spec are
+        served from disk.  When unset and the backend owns durable storage
+        (the work-queue spool), that store is adopted instead.
+    backend:
+        A registry name (``serial`` / ``process-pool`` / ``work-queue`` /
+        anything registered via
+        :func:`~repro.experiments.backends.register_execution_backend`) or a
+        ready :class:`ExecutionBackend` instance.  ``None`` picks from
+        ``workers`` as above.
+    retry:
+        A :class:`~repro.experiments.backends.RetryPolicy`; the default makes
+        no retries and sets no timeout.  Failures that survive their retries
+        become failure outcomes, and :meth:`run` raises
+        :class:`SweepExecutionError` unless ``allow_failures=True``.
+    spool_dir:
+        The shared spool directory of the ``work-queue`` backend (ignored by
+        backends that do not need one).
     """
 
     def __init__(
-        self, workers: int = 1, cache_dir: Optional[Union[str, Path]] = None
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        backend: Union[str, "ExecutionBackend", None] = None,
+        retry: Optional["RetryPolicy"] = None,
+        spool_dir: Optional[Union[str, Path]] = None,
     ) -> None:
+        from repro.experiments.backends.base import (
+            BackendOptions,
+            ExecutionBackend,
+            RetryPolicy,
+            build_execution_backend,
+        )
+
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
-        self.cache_dir = (
-            Path(cache_dir).expanduser() if cache_dir is not None else None
-        )
+        self.retry = RetryPolicy() if retry is None else retry
+        if backend is None:
+            backend = "serial" if self.workers == 1 else "process-pool"
+        if isinstance(backend, str):
+            backend = build_execution_backend(
+                backend,
+                BackendOptions(
+                    workers=self.workers,
+                    timeout_s=self.retry.timeout_s,
+                    spool_dir=spool_dir,
+                ),
+            )
+        if not isinstance(backend, ExecutionBackend):
+            raise TypeError(
+                f"backend must be a registry name or an ExecutionBackend, "
+                f"got {type(backend).__name__}"
+            )
+        self.backend = backend
+        if cache_dir is not None:
+            self.store: Optional[ResultStore] = ResultStore(cache_dir)
+        else:
+            self.store = backend.store
+        self.cache_dir = self.store.root if self.store is not None else None
 
     @classmethod
     def from_env(
-        cls, default_workers: int = 1, cache_dir: Optional[Union[str, Path]] = None
+        cls,
+        default_workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        backend: Union[str, "ExecutionBackend", None] = None,
+        retry: Optional["RetryPolicy"] = None,
+        spool_dir: Optional[Union[str, Path]] = None,
     ) -> "SweepExecutor":
-        """An executor sized by the ``REPRO_SWEEP_WORKERS`` environment variable."""
+        """An executor sized by ``REPRO_SWEEP_WORKERS``/``REPRO_SWEEP_BACKEND``."""
         raw = os.environ.get(WORKERS_ENV_VAR, "")
         if raw.strip():
             try:
@@ -222,78 +352,143 @@ class SweepExecutor:
                 ) from None
         else:
             workers = default_workers
-        return cls(workers=workers, cache_dir=cache_dir)
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR, "").strip() or None
+        return cls(
+            workers=workers,
+            cache_dir=cache_dir,
+            backend=backend,
+            retry=retry,
+            spool_dir=spool_dir,
+        )
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def run(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
-        """Execute every spec and return outcomes in spec order."""
+    def run(
+        self, specs: Sequence[RunSpec], *, allow_failures: bool = False
+    ) -> List[RunOutcome]:
+        """Execute every spec and return outcomes in spec order.
+
+        Every successful run is stored the moment it completes, before any
+        failure is reported.  When runs still fail after the retry policy is
+        exhausted, raises :class:`SweepExecutionError` — or, with
+        ``allow_failures=True``, returns their failure outcomes in place.
+        """
         specs = list(specs)
         outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+        for index, outcome in self._execute(specs):
+            if outcomes[index] is not None:
+                raise RuntimeError(
+                    f"executor bookkeeping error: spec {index} produced two outcomes"
+                )
+            outcomes[index] = outcome
+        missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
+        if missing:
+            # A bookkeeping bug must fail loudly: silently returning fewer
+            # outcomes than specs would let downstream zips misalign results.
+            raise RuntimeError(
+                f"executor bookkeeping error: {len(missing)} of {len(specs)} specs "
+                f"produced no outcome (first missing indices: {missing[:5]})"
+            )
+        complete = [outcome for outcome in outcomes if outcome is not None]
+        failures = [outcome for outcome in complete if not outcome.ok]
+        if failures and not allow_failures:
+            raise SweepExecutionError(failures, total=len(specs))
+        return complete
+
+    def run_metrics(self, specs: Sequence[RunSpec]) -> List[RunMetrics]:
+        """Like :meth:`run` but returning only the metrics (raises on failure)."""
+        return [outcome.metrics for outcome in self.run(specs)]
+
+    def iter_outcomes(
+        self, specs: Sequence[RunSpec], *, allow_failures: bool = False
+    ) -> Iterator[RunOutcome]:
+        """Yield outcomes *as runs complete* (cache hits first, then by finish).
+
+        The streaming counterpart of :meth:`run` for aggregations that must
+        not hold a whole campaign in memory: consumers see each outcome once,
+        in completion order rather than spec order.  Failure outcomes are
+        collected and raised as one :class:`SweepExecutionError` after the
+        batch drains (they are yielded instead under ``allow_failures=True``).
+        """
+        specs = list(specs)
+        seen = 0
+        failures: List[RunOutcome] = []
+        for _, outcome in self._execute(specs):
+            seen += 1
+            if outcome.ok or allow_failures:
+                yield outcome
+            else:
+                failures.append(outcome)
+        if seen != len(specs):
+            raise RuntimeError(
+                f"executor bookkeeping error: saw {seen} outcomes for {len(specs)} specs"
+            )
+        if failures:
+            raise SweepExecutionError(failures, total=len(specs))
+
+    def iter_run_metrics(self, specs: Sequence[RunSpec]) -> Iterator[RunMetrics]:
+        """Stream metrics in completion order (raises on any failure)."""
+        for outcome in self.iter_outcomes(specs):
+            yield outcome.metrics
+
+    def _execute(
+        self, specs: Sequence[RunSpec]
+    ) -> Iterator[Tuple[int, RunOutcome]]:
+        """Cache-check, dispatch, store-on-completion and retry loop.
+
+        Yields ``(index, outcome)`` pairs: cache hits immediately, fresh runs
+        as their backend completes them (each stored *before* it is yielded),
+        and — only after the retry budget is spent — per-spec failure
+        outcomes.  A crash in one run therefore never discards a sibling's
+        finished result.
+        """
         pending: List[int] = []
         for index, spec in enumerate(specs):
             cached = self._load_cached(spec)
             if cached is not None:
-                outcomes[index] = cached
+                yield index, cached
             else:
                 pending.append(index)
 
-        if pending and self.workers == 1:
-            for index in pending:
-                outcomes[index] = execute_spec(specs[index])
-        elif pending:
-            pool_size = min(self.workers, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=pool_size, mp_context=_pool_context()
-            ) as pool:
-                futures = [(index, pool.submit(execute_spec, specs[index])) for index in pending]
-                for index, future in futures:
-                    outcomes[index] = future.result()
-
-        for index in pending:
-            self._store_cached(outcomes[index])
-        return [outcome for outcome in outcomes if outcome is not None]
-
-    def run_metrics(self, specs: Sequence[RunSpec]) -> List[RunMetrics]:
-        """Like :meth:`run` but returning only the metrics."""
-        return [outcome.metrics for outcome in self.run(specs)]
+        attempt = 1
+        while pending:
+            failed: Dict[int, RunOutcome] = {}
+            for index, outcome in self.backend.execute(
+                [(index, specs[index]) for index in pending]
+            ):
+                outcome.attempts = attempt
+                if outcome.ok:
+                    self._store_cached(outcome)
+                    yield index, outcome
+                else:
+                    failed[index] = outcome
+            if not failed:
+                return
+            if attempt > self.retry.retries:
+                for index in sorted(failed):
+                    yield index, failed[index]
+                return
+            time.sleep(self.retry.delay_for(attempt))
+            attempt += 1
+            pending = sorted(failed)
 
     # ------------------------------------------------------------------ #
     # Caching
     # ------------------------------------------------------------------ #
-    def _cache_path(self, spec: RunSpec) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{spec.cache_key()}.pkl"
-
     def _load_cached(self, spec: RunSpec) -> Optional[RunOutcome]:
-        path = self._cache_path(spec)
-        if path is None or not path.is_file():
+        if self.store is None:
             return None
-        try:
-            with path.open("rb") as handle:
-                metrics = pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError, OSError):
-            return None
-        if not isinstance(metrics, RunMetrics):
+        metrics = self.store.load(spec.cache_key())
+        if metrics is None:
             return None
         return RunOutcome(spec=spec, metrics=metrics, wall_time_s=0.0, from_cache=True)
 
     def _store_cached(self, outcome: Optional[RunOutcome]) -> None:
-        if outcome is None:
+        if outcome is None or not outcome.ok or self.store is None:
             return
-        path = self._cache_path(outcome.spec)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Writer-unique temp name: concurrent sessions sharing a cache_dir
-        # may finish the same spec at once, and a shared temp file would let
-        # their writes interleave before the atomic rename.
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(outcome.metrics, handle)
-        tmp.replace(path)
+        self.store.store(outcome.spec.cache_key(), outcome.metrics)
 
 
 # --------------------------------------------------------------------- #

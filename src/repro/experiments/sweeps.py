@@ -1,10 +1,15 @@
 """Parameter sweeps over gateway density, device range and schemes.
 
 Sweeps are batches of independent :class:`RunSpec`s executed by a
-:class:`SweepExecutor` (serial, process-parallel and/or cache-served — the
-results are identical in every mode).  Base configurations usually come from
-the preset catalogue in :mod:`repro.experiments.registry`; the ``repro sweep``
-CLI command drives the same entry points from the command line.
+:class:`SweepExecutor` (over any execution backend — serial, process-pool or
+the multi-host work-queue — and/or cache-served; the results are identical
+in every mode).  Aggregation is streaming: runs are folded into the
+:class:`SweepResult` as they complete, so a campaign-scale grid never holds
+more than the per-key summaries in memory, and a failure after the retry
+budget raises only once every completed sibling has been cached.  Base
+configurations usually come from the preset catalogue in
+:mod:`repro.experiments.registry`; the ``repro sweep`` CLI command drives
+the same entry points from the command line.
 """
 
 from __future__ import annotations
@@ -92,7 +97,9 @@ def run_gateway_sweep(
     )
     executor = executor or SweepExecutor()
     result = SweepResult()
-    for metrics in executor.run_metrics(specs):
+    # Streaming: fold each run in as it completes (the SweepResult index is
+    # order-insensitive), so finished metrics never accumulate in a list.
+    for metrics in executor.iter_run_metrics(specs):
         result.add(metrics)
     return result
 

@@ -211,6 +211,47 @@ class TestSmoke:
 # --------------------------------------------------------------------- #
 # The installed/module entry points themselves
 # --------------------------------------------------------------------- #
+class TestCampaignFlags:
+    def test_run_accepts_backend_and_retry_flags(self, tmp_path, capsys):
+        assert main([
+            "run", "urban-smoke", "--backend", "serial",
+            "--retries", "1", "--cache", str(tmp_path),
+        ]) == 0
+        assert "messages_delivered" in capsys.readouterr().out
+        # The retried-capable run still landed in the (sharded) cache.
+        assert list(tmp_path.rglob("*.pkl"))
+
+    def test_unknown_backend_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "urban-smoke", "--backend", "bogus"])
+        assert "bogus" in capsys.readouterr().err
+
+    def test_backend_env_fallback(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "serial")
+        assert main(["run", "urban-smoke", "--cache", str(tmp_path)]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "bogus")
+        assert main(["run", "urban-smoke"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_worker_exits_on_idle_timeout(self, tmp_path, capsys):
+        assert main([
+            "worker", str(tmp_path / "spool"), "--idle-timeout", "0.2",
+            "--poll", "0.05",
+        ]) == 0
+        assert "processed 0 job(s)" in capsys.readouterr().out
+
+    def test_worker_invalid_flags_fail_cleanly(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path), "--max-jobs", "0"]) == 2
+        assert "--max-jobs" in capsys.readouterr().err
+        assert main(["worker", str(tmp_path), "--idle-timeout", "0"]) == 2
+        assert "--idle-timeout" in capsys.readouterr().err
+
+    def test_work_queue_without_spool_fails_cleanly(self, capsys):
+        assert main(["run", "urban-smoke", "--backend", "work-queue"]) == 2
+        assert "spool" in capsys.readouterr().err
+
+
 class TestEntryPoint:
     def test_python_dash_m_repro(self):
         """`PYTHONPATH=src python -m repro list` works on a fresh checkout."""

@@ -2,9 +2,12 @@
 
 The headline guarantee: a sweep run with ``workers=1`` and ``workers=4``
 produces bit-identical :class:`RunMetrics` for every key, so parallelism can
-never change scientific results.
+never change scientific results.  The failure-handling guarantees — a
+crashed run becomes a per-spec failure outcome *after* every finished
+sibling was cached — live in ``test_backends.py``.
 """
 
+import dataclasses
 import pickle
 
 import pytest
@@ -13,13 +16,17 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.parallel import (
     RunSpec,
     SweepExecutor,
+    _trace_file_content_digest,
     config_digest,
     derive_run_seed,
     execute_spec,
     replication_specs,
+    spec_from_dict,
+    spec_to_dict,
     sweep_specs,
 )
 from repro.experiments.sweeps import run_gateway_sweep, run_replications
+from repro.mobility.config import MobilityConfig
 
 
 @pytest.fixture(scope="module")
@@ -95,7 +102,7 @@ class TestSweepExecutor:
         specs = sweep_specs(tiny_config, (2,), ("no-routing",), (1000.0,))
         first = SweepExecutor(workers=1, cache_dir=tmp_path).run(specs)
         assert not first[0].from_cache
-        assert list(tmp_path.glob("*.pkl"))
+        assert list(tmp_path.rglob("*.pkl"))
         second = SweepExecutor(workers=1, cache_dir=tmp_path).run(specs)
         assert second[0].from_cache
         assert second[0].metrics == first[0].metrics
@@ -107,15 +114,39 @@ class TestSweepExecutor:
         assert not other[0].from_cache
         assert first[0].metrics != other[0].metrics
 
-    def test_corrupt_cache_entry_is_recomputed(self, tiny_config, tmp_path):
+    def test_corrupt_cache_entry_is_unlinked_and_recomputed(self, tiny_config, tmp_path):
         executor = SweepExecutor(workers=1, cache_dir=tmp_path)
         spec = RunSpec(config=tiny_config)
         good = executor.run([spec])[0]
-        path = tmp_path / f"{spec.cache_key()}.pkl"
+        path = executor.store.path_for(spec.cache_key())
         path.write_bytes(b"not a pickle")
         recomputed = executor.run([spec])[0]
         assert not recomputed.from_cache
         assert recomputed.metrics == good.metrics
+        # The damaged entry was replaced by the recomputed result, not left
+        # to be re-read and re-discarded on every future execution.
+        assert pickle.loads(path.read_bytes()) == good.metrics
+        assert executor.run([spec])[0].from_cache
+
+    def test_corrupt_legacy_flat_entry_is_unlinked(self, tiny_config, tmp_path):
+        # The pre-campaign-engine cache layout was flat; a truncated legacy
+        # entry must also be removed on load failure instead of lingering.
+        executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+        spec = RunSpec(config=tiny_config)
+        legacy = tmp_path / f"{spec.cache_key()}.pkl"
+        legacy.write_bytes(b"\x80\x04truncated")
+        outcome = executor.run([spec])[0]
+        assert not outcome.from_cache
+        assert not legacy.exists()
+
+    def test_iter_outcomes_streams_and_caches(self, tiny_config, tmp_path):
+        specs = sweep_specs(tiny_config, (2, 3), ("no-routing",), (1000.0,))
+        executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+        streamed = list(executor.iter_outcomes(specs))
+        assert sorted(o.spec.cache_key() for o in streamed) == sorted(
+            s.cache_key() for s in specs
+        )
+        assert all(executor.store.load(s.cache_key()) is not None for s in specs)
 
     def test_from_env_reads_worker_count(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
@@ -127,6 +158,53 @@ class TestSweepExecutor:
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "abc")
         with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS"):
             SweepExecutor.from_env()
+
+    def test_from_env_reads_backend_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_BACKEND", "serial")
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        assert SweepExecutor.from_env().backend.name == "serial"
+        monkeypatch.delenv("REPRO_SWEEP_BACKEND")
+        assert SweepExecutor.from_env().backend.name == "process-pool"
+
+    def test_unknown_backend_name_lists_choices(self):
+        with pytest.raises(ValueError, match="serial"):
+            SweepExecutor(backend="no-such-backend")
+
+    def test_completeness_assertion_catches_lossy_backend(self, tiny_config):
+        from repro.experiments.backends.base import ExecutionBackend, failure_outcome
+
+        class DroppingBackend(ExecutionBackend):
+            """Simulates the old silent-loss bug: swallows one outcome."""
+
+            name = "dropping"
+
+            def execute(self, items):
+                for index, spec in list(items)[1:]:
+                    yield index, failure_outcome(spec, RuntimeError("boom"), 0.0)
+
+        executor = SweepExecutor(backend=DroppingBackend())
+        specs = sweep_specs(tiny_config, (2, 3), ("no-routing",), (1000.0,))
+        with pytest.raises(RuntimeError, match="bookkeeping"):
+            executor.run(specs, allow_failures=True)
+
+    def test_crashing_spec_becomes_failure_outcome(self, tiny_config):
+        from repro.experiments.parallel import SweepExecutionError
+
+        bad = RunSpec(
+            config=dataclasses.replace(
+                tiny_config,
+                mobility=MobilityConfig(
+                    model="trace-file", trace_file="/nonexistent/trace.csv"
+                ),
+            )
+        )
+        executor = SweepExecutor(workers=1)
+        with pytest.raises(SweepExecutionError, match="1 of 1"):
+            executor.run([bad])
+        outcome = executor.run([bad], allow_failures=True)[0]
+        assert not outcome.ok
+        assert outcome.metrics is None
+        assert "trace" in outcome.error or "No such file" in outcome.error
 
 
 class TestSpecs:
@@ -164,6 +242,20 @@ class TestSpecs:
             replication_specs(tiny_config, 0)
 
 
+class TestWireFormat:
+    def test_spec_dict_roundtrip_preserves_cache_key(self, tiny_config):
+        spec = RunSpec(config=tiny_config, nominal_gateways=40, replicate=2)
+        clone = spec_from_dict(spec_to_dict(spec))
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_spec_dict_is_json_safe(self, tiny_config):
+        import json
+
+        payload = json.dumps(spec_to_dict(RunSpec(config=tiny_config)))
+        assert spec_from_dict(json.loads(payload)) == RunSpec(config=tiny_config)
+
+
 class TestSeedDerivation:
     def test_pinned_value(self):
         # Guards the derivation scheme itself: changing the hash recipe would
@@ -197,4 +289,22 @@ class TestConfigDigest:
         assert config_digest(tiny_config) != config_digest(tiny_config.with_seed(24))
         assert config_digest(tiny_config) != config_digest(
             tiny_config.with_scheme("robc")
+        )
+
+    def test_unreadable_trace_files_digest_distinctly(self, tiny_config):
+        # Two scenarios pointing at different unreadable trace files must not
+        # collide on one cache key: the sentinel embeds the path.
+        a = _trace_file_content_digest("/missing/a.csv")
+        b = _trace_file_content_digest("/missing/b.csv")
+        assert a != b
+        assert "/missing/a.csv" in a
+
+        def with_trace(path):
+            return dataclasses.replace(
+                tiny_config,
+                mobility=MobilityConfig(model="trace-file", trace_file=path),
+            )
+
+        assert config_digest(with_trace("/missing/a.csv")) != config_digest(
+            with_trace("/missing/b.csv")
         )

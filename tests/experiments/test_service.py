@@ -1,0 +1,144 @@
+"""End-to-end tests for the ``repro serve`` results service.
+
+The service runs in a background thread on an ephemeral port; the tests are
+real HTTP clients (urllib), so the minimal request parser, the routing table
+and the drain loop are all exercised exactly as a deployment would.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import RunSpec, SweepExecutor
+from repro.experiments.serialization import scenario_to_dict
+from repro.experiments.service import CampaignService
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ScenarioConfig(
+        duration_s=1200.0,
+        area_km2=12.0,
+        num_gateways=2,
+        num_routes=3,
+        trips_per_route=2,
+        stops_per_route=4,
+        min_block_repeats=1,
+        max_block_repeats=2,
+        device_range_m=1000.0,
+        seed=23,
+    )
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    executor = SweepExecutor(workers=1, cache_dir=tmp_path_factory.mktemp("store"))
+    svc = CampaignService(executor, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=svc.run_blocking, daemon=True)
+    thread.start()
+    assert svc.ready.wait(timeout=10), "service did not come up"
+    yield svc
+    svc.stop()
+    thread.join(timeout=10)
+
+
+def _request(service, method, path, payload=None):
+    body = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{service.bound_port}{path}", data=body, method=method
+    )
+    if body is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+def _poll_until_done(service, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, payload = _request(service, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if payload["status"] in ("done", "failed"):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish within {timeout_s}s")
+
+
+class TestService:
+    def test_health(self, service):
+        status, payload = _request(service, "GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["backend"] == "serial"
+
+    def test_submit_compute_poll_then_cache_hit(self, service, tiny_config):
+        body = {"scenario": scenario_to_dict(tiny_config)}
+
+        status, payload = _request(service, "POST", "/runs", body)
+        assert status == 202
+        job_id = payload["job_id"]
+        assert payload["poll"] == f"/jobs/{job_id}"
+        assert job_id == RunSpec(config=tiny_config).cache_key()
+
+        finished = _poll_until_done(service, job_id)
+        assert finished["status"] == "done"
+        assert finished["error"] is None
+        assert finished["metrics"]["messages_generated"] > 0
+
+        # Resubmitting the identical scenario is a pure store lookup.
+        status, payload = _request(service, "POST", "/runs", body)
+        assert status == 200
+        assert payload["cached"] is True
+        assert payload["metrics"] == finished["metrics"]
+
+        # The digest alone is enough once the result exists.
+        status, payload = _request(
+            service, "POST", "/runs", {"cache_key": job_id}
+        )
+        assert status == 200
+        status, payload = _request(service, "GET", f"/results/{job_id}")
+        assert status == 200
+        assert payload["metrics"]["scheme"] == tiny_config.scheme
+
+    def test_summary_aggregates_the_store(self, service, tiny_config):
+        body = {"scenario": scenario_to_dict(tiny_config)}
+        status, payload = _request(service, "POST", "/runs", body)
+        if status == 202:
+            _poll_until_done(service, payload["job_id"])
+        status, payload = _request(service, "GET", "/summary")
+        assert status == 200
+        assert payload["runs"] >= 1
+        assert 0.0 <= payload["delivery_ratio"] <= 1.0
+
+    def test_unknown_cache_key_is_a_404_not_a_job(self, service):
+        status, payload = _request(
+            service, "POST", "/runs", {"cache_key": "v-absent"}
+        )
+        assert status == 404
+        status, _ = _request(service, "GET", "/results/v-absent")
+        assert status == 404
+        status, _ = _request(service, "GET", "/jobs/v-absent")
+        assert status == 404
+
+    def test_bad_requests(self, service):
+        status, payload = _request(service, "POST", "/runs", {"preset": "no-such"})
+        assert status == 400
+        assert "no-such" in payload["error"]
+        status, _ = _request(service, "POST", "/runs", {})
+        assert status == 400
+        status, _ = _request(service, "GET", "/no-such-route")
+        assert status == 404
+        status, _ = _request(service, "POST", "/health")
+        assert status == 405
+
+    def test_executor_without_store_is_rejected(self):
+        with pytest.raises(ValueError, match="store"):
+            CampaignService(SweepExecutor(workers=1))

@@ -1,0 +1,106 @@
+"""Unit tests for the content-addressed result store and streaming accumulator."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import RunSpec, execute_spec
+from repro.experiments.store import MetricsAccumulator, ResultStore
+
+
+@pytest.fixture(scope="module")
+def tiny_metrics():
+    config = ScenarioConfig(
+        duration_s=1200.0,
+        area_km2=12.0,
+        num_gateways=2,
+        num_routes=3,
+        trips_per_route=2,
+        stops_per_route=4,
+        min_block_repeats=1,
+        max_block_repeats=2,
+        device_range_m=1000.0,
+        seed=23,
+    )
+    return execute_spec(RunSpec(config=config)).metrics
+
+
+class TestResultStore:
+    def test_roundtrip(self, tiny_metrics, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("k1", tiny_metrics)
+        assert "k1" in store
+        assert store.load("k1") == tiny_metrics
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load("absent") is None
+        assert "absent" not in store
+
+    def test_layout_is_sharded_and_atomic(self, tiny_metrics, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("some-key", tiny_metrics)
+        path = store.path_for("some-key")
+        assert path.parent.parent == tmp_path
+        assert len(path.parent.name) == 2  # two-hex-char shard
+        # No temp files left behind by the write-then-rename protocol.
+        assert sorted(p.name for p in tmp_path.rglob("*") if p.is_file()) == [
+            "some-key.pkl"
+        ]
+
+    def test_corrupt_entry_is_unlinked_on_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.path_for("bad")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"garbage that is not a pickle")
+        assert store.load("bad") is None
+        assert not path.exists()
+
+    def test_wrong_type_entry_is_unlinked_on_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.path_for("wrong")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"not": "RunMetrics"}))
+        assert store.load("wrong") is None
+        assert not path.exists()
+
+    def test_reads_legacy_flat_layout(self, tiny_metrics, tmp_path):
+        (tmp_path / "old-key.pkl").write_bytes(pickle.dumps(tiny_metrics))
+        store = ResultStore(tmp_path)
+        assert store.load("old-key") == tiny_metrics
+        assert "old-key" in store
+
+    def test_iter_keys_covers_both_layouts(self, tiny_metrics, tmp_path):
+        (tmp_path / "flat.pkl").write_bytes(pickle.dumps(tiny_metrics))
+        store = ResultStore(tmp_path)
+        store.store("sharded", tiny_metrics)
+        assert sorted(store.iter_keys()) == ["flat", "sharded"]
+
+    def test_summarize(self, tiny_metrics, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("a", tiny_metrics)
+        store.store("b", tiny_metrics)
+        summary = store.summarize()
+        assert summary["runs"] == 2
+        assert summary["messages_generated"] == 2 * tiny_metrics.messages_generated
+
+
+class TestMetricsAccumulator:
+    def test_empty_summary(self):
+        summary = MetricsAccumulator().summary()
+        assert summary["runs"] == 0
+        assert summary["delivery_ratio"] == 0.0
+        assert summary["mean_delay_s"] is None
+
+    def test_streaming_totals_match_fields(self, tiny_metrics):
+        acc = MetricsAccumulator()
+        acc.add(tiny_metrics)
+        acc.add(tiny_metrics)
+        summary = acc.summary()
+        assert summary["runs"] == 2
+        assert summary["messages_delivered"] == 2 * tiny_metrics.messages_delivered
+        if tiny_metrics.messages_generated:
+            assert summary["delivery_ratio"] == pytest.approx(
+                tiny_metrics.messages_delivered / tiny_metrics.messages_generated
+            )
